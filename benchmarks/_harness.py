@@ -1,0 +1,113 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  Scale is
+controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick`` (default) -- scaled-down matrices and grids; every qualitative
+  claim is still exercised, total wall time stays in minutes.
+* ``paper`` -- medium-scale proxies and larger grids for higher-fidelity
+  shapes (tens of minutes; run it when you care about the curves).
+
+Analyzed problems and communication plans are memoized per session, so
+benchmarks sharing a workload pay for symbolic analysis once.  Each
+benchmark prints its paper-style table and mirrors it to
+``benchmarks/results/<name>.txt`` so the artifacts survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ProcessorGrid, iter_plans
+from repro.simulate import NetworkConfig
+from repro.sparse import AnalyzedProblem, analyze
+from repro.workloads import make_workload
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+# The network model used by all timing benchmarks (calibrated so the
+# critical path is bandwidth/fan-out bound at the grids we sweep, like
+# the paper's platform at its much larger scale).
+TIMING_NET = dict(
+    latency_intra_node=1.5e-7,
+    latency_intra_group=4e-7,
+    latency_inter_group=7e-7,
+    injection_overhead=3e-7,
+    receive_overhead=2e-7,
+    task_overhead=1.5e-7,
+    injection_bandwidth=1.5e9,
+    ejection_bandwidth=1.5e9,
+    bw_intra_node=6e9,
+    bw_intra_group=2.0e9,
+    bw_inter_group=1.5e9,
+    flop_rate=8e9,
+)
+
+_PROBLEMS: dict[tuple, AnalyzedProblem] = {}
+_PLANS: dict[tuple, list] = {}
+
+
+def timing_network(jitter_sigma: float = 0.2) -> NetworkConfig:
+    return NetworkConfig(jitter_sigma=jitter_sigma, **TIMING_NET)
+
+
+def get_problem(
+    workload: str, scale: str | None = None, *, max_supernode: int = 8
+) -> AnalyzedProblem:
+    """Memoized workload generation + symbolic analysis."""
+    scale = scale or ("small" if SCALE == "quick" else "medium")
+    key = (workload, scale, max_supernode)
+    prob = _PROBLEMS.get(key)
+    if prob is None:
+        m = make_workload(workload, scale)
+        prob = analyze(m, ordering="nd", max_supernode=max_supernode)
+        _PROBLEMS[key] = prob
+    return prob
+
+
+def get_plans(prob: AnalyzedProblem, grid: ProcessorGrid) -> list:
+    """Memoized communication plans per (problem, grid)."""
+    key = (id(prob), grid.pr, grid.pc)
+    plans = _PLANS.get(key)
+    if plans is None:
+        plans = list(iter_plans(prob.struct, grid))
+        _PLANS[key] = plans
+    return plans
+
+
+def volume_grid() -> ProcessorGrid:
+    """Grid used by the volume studies (Table I / Figs. 4-7)."""
+    return ProcessorGrid(8, 8) if SCALE == "quick" else ProcessorGrid(24, 24)
+
+
+def scaling_processor_counts() -> list[int]:
+    """Square-grid sides for the strong-scaling sweep (Fig. 8)."""
+    if SCALE == "quick":
+        return [4, 8, 16, 23, 32]
+    return [8, 16, 24, 32, 46]
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def fmt_mb(x: float) -> str:
+    return f"{x:.3f}"
+
+
+def paper_note(lines: list[str]) -> str:
+    """Format the paper's reference numbers as an indented footnote."""
+    return "\n".join("  [paper] " + line for line in lines)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,212 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+1. *Circular shift vs full permutation* -- the paper rejects the full
+   random permutation: it destroys the rank locality the binary split
+   exploits ("putting ranks which are logically closer far from each
+   other").  We measure both volume balance and simulated time; the
+   locality cost shows up as extra inter-node traffic.
+2. *Hybrid threshold* -- §IV-B suggests flat below a group-size
+   threshold, shifted-binary above; we sweep the threshold.
+3. *Lookahead window* -- bounded buffering is what exposes tree shape on
+   the critical path; infinite lookahead (an idealized runtime with
+   unlimited buffers and perfectly eager transfers) hides most of it.
+4. *NIC serialization* -- removing injection/ejection serialization
+   (infinite-rate ports) erases the flat-tree penalty, confirming the
+   paper's hot-spot mechanism rather than some other artifact.
+"""
+
+import numpy as np
+
+from repro.analysis import Table, volume_histogram
+from repro.core import ProcessorGrid, SimulatedPSelInv, communication_volumes, volume_summary
+from repro.simulate import Network, NetworkConfig
+
+from _harness import (
+    TIMING_NET,
+    emit,
+    get_plans,
+    get_problem,
+    run_once,
+    timing_network,
+    volume_grid,
+)
+
+
+def _intergroup_bytes(prob, grid, scheme, net_cfg, plans):
+    """Total bytes crossing group boundaries under a scheme (locality)."""
+    res = SimulatedPSelInv(
+        prob.struct, grid, scheme, network=net_cfg, seed=20160523,
+        plans=plans, lookahead=4,
+    ).run()
+    return res
+
+
+def test_ablation_shift_vs_permutation(benchmark):
+    prob = get_problem("audikw_1")
+    grid = volume_grid()
+    plans = get_plans(prob, grid)
+    net = timing_network(jitter_sigma=0.0)
+    # Few ranks per node so locality matters on this small grid.
+    net = NetworkConfig(
+        jitter_sigma=0.0, cores_per_node=4, nodes_per_group=4, **TIMING_NET
+    )
+
+    def compute():
+        out = {}
+        for scheme in ("shifted", "randperm"):
+            rep = communication_volumes(
+                prob.struct, grid, scheme, seed=20160523, plans=plans
+            )
+            res = SimulatedPSelInv(
+                prob.struct, grid, scheme, network=net, seed=20160523,
+                plans=plans, lookahead=4,
+            ).run()
+            # Locality: fraction of transferred bytes that stay in-node.
+            network = Network(grid.size, net)
+            local = far = 0.0
+            for plan in plans:
+                for spec in plan.collectives():
+                    from repro.comm import build_tree
+                    from repro.core import collective_seed
+
+                    tree = build_tree(
+                        scheme, spec.root, spec.participants,
+                        collective_seed(20160523, spec.key),
+                    )
+                    for r in tree.ranks():
+                        if r == tree.root:
+                            continue
+                        if network.distance_class(tree.parent[r], r) == 0:
+                            local += spec.nbytes
+                        else:
+                            far += spec.nbytes
+            out[scheme] = (rep, res, local / (local + far))
+        return out
+
+    results = run_once(benchmark, compute)
+
+    table = Table(
+        "Ablation -- circular shift vs full random permutation "
+        f"({grid.pr}x{grid.pc} grid, 4 ranks/node)",
+        ["scheme", "vol std MB", "intra-node byte frac", "sim time ms"],
+    )
+    vals = {}
+    for scheme, (rep, res, loc) in results.items():
+        s = volume_summary(rep.col_bcast_sent())
+        vals[scheme] = (s["std"], loc, res.makespan)
+        table.add(scheme, s["std"], f"{loc:.1%}", res.makespan * 1e3)
+    emit("ablation_shift_vs_perm", table.render())
+
+    # The full permutation must not preserve MORE locality than the
+    # rotation (it breaks the consecutive-rank adjacency on purpose).
+    assert vals["randperm"][1] <= vals["shifted"][1] + 1e-9
+
+
+def test_ablation_hybrid_threshold(benchmark):
+    prob = get_problem("audikw_1")
+    grid = volume_grid()
+    plans = get_plans(prob, grid)
+    net = timing_network(jitter_sigma=0.0)
+    thresholds = [1, 4, 8, 16, 10**6]
+
+    def compute():
+        out = {}
+        for th in thresholds:
+            res = SimulatedPSelInv(
+                prob.struct, grid, "hybrid", network=net, seed=20160523,
+                plans=plans, lookahead=4, hybrid_threshold=th,
+            ).run()
+            out[th] = res.makespan
+        return out
+
+    times = run_once(benchmark, compute)
+    table = Table(
+        "Ablation -- hybrid flat/shifted threshold (paper §IV-B proposal)",
+        ["threshold", "time ms", "note"],
+    )
+    for th, t in times.items():
+        note = "pure shifted" if th == 1 else ("pure flat" if th == 10**6 else "")
+        table.add(th, t * 1e3, note)
+    emit("ablation_hybrid_threshold", table.render())
+
+    # Sanity: hybrid at extreme thresholds reproduces the pure schemes.
+    pure_sh = SimulatedPSelInv(
+        prob.struct, grid, "shifted", network=net, seed=20160523,
+        plans=plans, lookahead=4,
+    ).run().makespan
+    assert times[1] == pure_sh
+
+
+def test_ablation_lookahead_window(benchmark):
+    prob = get_problem("audikw_1")
+    grid = volume_grid()
+    plans = get_plans(prob, grid)
+    net = timing_network(jitter_sigma=0.0)
+    windows = [1, 2, 4, 16, None]
+
+    def compute():
+        out = {}
+        for w in windows:
+            for scheme in ("flat", "shifted"):
+                res = SimulatedPSelInv(
+                    prob.struct, grid, scheme, network=net, seed=20160523,
+                    plans=plans, lookahead=w,
+                ).run()
+                out[(w, scheme)] = res.makespan
+        return out
+
+    times = run_once(benchmark, compute)
+    table = Table(
+        "Ablation -- lookahead window (bounded supernode pipelining)",
+        ["window", "flat ms", "shifted ms", "flat/shifted"],
+    )
+    for w in windows:
+        f, s = times[(w, "flat")], times[(w, "shifted")]
+        table.add("inf" if w is None else w, f * 1e3, s * 1e3, f"{f/s:.2f}")
+    emit("ablation_lookahead", table.render())
+
+    # Pipelining monotonically helps, and the flat-tree penalty is larger
+    # at small windows than with infinite buffering.
+    for scheme in ("flat", "shifted"):
+        assert times[(None, scheme)] <= times[(1, scheme)]
+    gap_small = times[(2, "flat")] / times[(2, "shifted")]
+    gap_inf = times[(None, "flat")] / times[(None, "shifted")]
+    assert gap_small >= gap_inf * 0.98
+
+
+def test_ablation_nic_serialization(benchmark):
+    """Infinite-rate NICs: the flat root's fan-out becomes free, so the
+    flat-vs-shifted gap should (mostly) vanish -- the paper's hot-spot
+    mechanism is the injection/ejection serialization."""
+    prob = get_problem("audikw_1")
+    grid = volume_grid()
+    plans = get_plans(prob, grid)
+    normal = timing_network(jitter_sigma=0.0)
+    cfg = dict(TIMING_NET)
+    cfg.update(injection_bandwidth=1e15, ejection_bandwidth=1e15, injection_overhead=0.0)
+    no_nic = NetworkConfig(jitter_sigma=0.0, **cfg)
+
+    def compute():
+        out = {}
+        for label, net in (("normal", normal), ("no-nic-serialization", no_nic)):
+            for scheme in ("flat", "shifted"):
+                res = SimulatedPSelInv(
+                    prob.struct, grid, scheme, network=net, seed=20160523,
+                    plans=plans, lookahead=4,
+                ).run()
+                out[(label, scheme)] = res.makespan
+        return out
+
+    times = run_once(benchmark, compute)
+    table = Table(
+        "Ablation -- NIC serialization on/off",
+        ["network", "flat ms", "shifted ms", "flat/shifted"],
+    )
+    gaps = {}
+    for label in ("normal", "no-nic-serialization"):
+        f, s = times[(label, "flat")], times[(label, "shifted")]
+        gaps[label] = f / s
+        table.add(label, f * 1e3, s * 1e3, f"{f/s:.2f}")
+    emit("ablation_nic", table.render())
+
+    assert gaps["no-nic-serialization"] <= gaps["normal"]

@@ -1,0 +1,61 @@
+"""Fig. 5: Col-Bcast communication-volume heat maps on the processor grid.
+
+Paper shapes: (a) Flat-Tree concentrates volume near the grid diagonal
+(diagonal-block broadcast roots) with strong variation; (b) Binary-Tree
+shows regular stripes perpendicular to the broadcast direction (the
+always-chosen internal ranks); (c) Shifted Binary-Tree is uniformly
+"cool" on the same colour scale as (a).
+"""
+
+from repro.analysis import (
+    diagonal_concentration,
+    render_ascii,
+    stripe_score,
+    uniformity,
+)
+from repro.core import communication_volumes
+
+from _harness import emit, get_plans, get_problem, run_once, volume_grid
+
+SCHEMES = ["flat", "binary", "shifted"]
+
+
+def test_fig5_colbcast_heatmaps(benchmark):
+    prob = get_problem("audikw_1")
+    grid = volume_grid()
+    plans = get_plans(prob, grid)
+
+    def compute():
+        return {
+            s: communication_volumes(
+                prob.struct, grid, s, seed=20160523, plans=plans
+            ).heatmap("col-bcast-total")
+            for s in SCHEMES
+        }
+
+    maps = run_once(benchmark, compute)
+
+    # Shared colour scale between flat and shifted, as in the paper.
+    vmax = max(maps["flat"].max(), maps["shifted"].max())
+    sections = [
+        f"Fig. 5 -- Col-Bcast heat maps, audikw_1 proxy, "
+        f"{grid.pr}x{grid.pc} grid (darker = more bytes sent)"
+    ]
+    metrics = {}
+    for s in SCHEMES:
+        metrics[s] = dict(
+            diag=diagonal_concentration(maps[s]),
+            stripes=stripe_score(maps[s], axis=0),
+            cv=uniformity(maps[s]),
+        )
+        sections.append(
+            f"\n[{s}] diag-concentration={metrics[s]['diag']:.2f} "
+            f"stripe-score={metrics[s]['stripes']:.2f} "
+            f"coeff-of-variation={metrics[s]['cv']:.3f}"
+        )
+        sections.append(render_ascii(maps[s], vmax=vmax if s != "binary" else None))
+    emit("fig5_heatmaps", "\n".join(sections))
+
+    assert metrics["flat"]["diag"] > metrics["shifted"]["diag"]
+    assert metrics["binary"]["stripes"] > 2 * metrics["shifted"]["stripes"]
+    assert metrics["shifted"]["cv"] < metrics["flat"]["cv"] < metrics["binary"]["cv"]

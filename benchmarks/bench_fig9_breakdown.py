@@ -1,0 +1,64 @@
+"""Fig. 9 + §IV-B text: computation vs communication time breakdown.
+
+Paper: for DG_PNF14000 under the Flat-Tree, communication:computation is
+27:73 at P=256 but 89:11 at P=4,096; switching to the Shifted
+Binary-Tree cuts the ratio at P=4,096 from 11.8 to 1.9.  We reproduce
+the two mechanisms: the ratio explodes with P for Flat, and Shifted cuts
+it substantially at the large grid.
+"""
+
+from repro.analysis import Table
+from repro.core import ProcessorGrid, SimulatedPSelInv
+
+from _harness import SCALE, emit, get_plans, get_problem, run_once, timing_network
+
+GRIDS = [(4, 4), (16, 16)] if SCALE == "quick" else [(16, 16), (32, 32)]
+
+
+def test_fig9_comm_comp_breakdown(benchmark):
+    prob = get_problem("DG_PNF14000", max_supernode=16)
+    net = timing_network(jitter_sigma=0.0)
+
+    def compute():
+        out = {}
+        for shape in GRIDS:
+            grid = ProcessorGrid(*shape)
+            plans = get_plans(prob, grid)
+            for scheme in ("flat", "shifted"):
+                res = SimulatedPSelInv(
+                    prob.struct, grid, scheme,
+                    network=net, seed=20160523, plans=plans, lookahead=4,
+                ).run()
+                out[(grid.size, scheme)] = (
+                    res.compute_time,
+                    res.communication_time,
+                )
+        return out
+
+    results = run_once(benchmark, compute)
+
+    table = Table(
+        f"Fig. 9 -- computation vs communication (mean per-rank seconds), "
+        f"DG_PNF14000 proxy (n={prob.n})",
+        ["P", "scheme", "compute", "comm", "comm/comp", "comm share"],
+    )
+    ratios = {}
+    for (p, scheme), (comp, comm) in sorted(results.items()):
+        r = comm / comp
+        ratios[(p, scheme)] = r
+        table.add(
+            p, scheme, f"{comp*1e3:.3f}ms", f"{comm*1e3:.3f}ms",
+            f"{r:.1f}", f"{100 * comm / (comm + comp):.0f}%",
+        )
+    note = (
+        "  [paper] flat: 27% comm at P=256 -> 89% at P=4096;\n"
+        "  [paper] shifted cuts comm/comp at P=4096 from 11.8 to 1.9."
+    )
+    emit("fig9_breakdown", table.render() + "\n" + note)
+
+    p_small = GRIDS[0][0] * GRIDS[0][1]
+    p_big = GRIDS[1][0] * GRIDS[1][1]
+    # Communication share explodes with P under Flat.
+    assert ratios[(p_big, "flat")] > 2 * ratios[(p_small, "flat")]
+    # Shifted reduces the large-grid communication burden.
+    assert ratios[(p_big, "shifted")] < ratios[(p_big, "flat")]

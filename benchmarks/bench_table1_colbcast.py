@@ -1,0 +1,70 @@
+"""Table I: volume sent during Col-Bcast for the audikw_1 proxy.
+
+Paper (audikw_1, 46x46 grid, MB):
+
+    Flat-Tree             min 28.99   max 69.49   median 40.80   std 8.25
+    Binary-Tree           min  1.46   max 97.14   median 36.87   std 27.36
+    Shifted Binary-Tree   min 33.64   max 54.10   median 42.63   std  3.33
+
+Reproduction target: the *shape* -- Binary collapses the minimum and
+blows up the maximum/std; Shifted raises the minimum, cuts the maximum,
+and shrinks the std well below Flat's.
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.core import communication_volumes, volume_summary
+
+from _harness import emit, get_plans, get_problem, paper_note, run_once, volume_grid
+
+SCHEMES = ["flat", "binary", "binomial", "shifted"]
+PAPER = {
+    "flat": (28.99, 69.49, 40.80, 8.25),
+    "binary": (1.46, 97.14, 36.87, 27.36),
+    "shifted": (33.64, 54.10, 42.63, 3.33),
+}
+
+
+def test_table1_colbcast_volume(benchmark):
+    prob = get_problem("audikw_1")
+    grid = volume_grid()
+    plans = get_plans(prob, grid)
+
+    def compute():
+        return {
+            scheme: communication_volumes(
+                prob.struct, grid, scheme, seed=20160523, plans=plans
+            )
+            for scheme in SCHEMES
+        }
+
+    reports = run_once(benchmark, compute)
+
+    table = Table(
+        f"Table I -- Col-Bcast sent volume (MB), audikw_1 proxy, "
+        f"{grid.pr}x{grid.pc} grid, n={prob.n}, nsup={prob.struct.nsup}",
+        ["scheme", "min", "max", "median", "std"],
+    )
+    stats = {}
+    for scheme in SCHEMES:
+        s = volume_summary(reports[scheme].col_bcast_sent())
+        stats[scheme] = s
+        table.add(scheme, s["min"], s["max"], s["median"], s["std"])
+    note = paper_note(
+        [
+            f"{k}: min {v[0]} max {v[1]} median {v[2]} std {v[3]}"
+            for k, v in PAPER.items()
+        ]
+        + ["binomial: not in the paper -- MPI's standard bcast tree, "
+           "included as an extra baseline (binary-like pathology)"]
+    )
+    emit("table1_colbcast", table.render() + "\n" + note)
+
+    # The Table I shape must hold at any scale.
+    assert stats["binary"]["min"] < stats["flat"]["min"]
+    assert stats["binary"]["max"] > stats["flat"]["max"]
+    assert stats["binary"]["std"] > stats["flat"]["std"]
+    assert stats["shifted"]["min"] > stats["flat"]["min"]
+    assert stats["shifted"]["max"] < stats["flat"]["max"]
+    assert stats["shifted"]["std"] < stats["flat"]["std"]

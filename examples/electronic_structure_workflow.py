@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""PEXSI-style electronic-structure workflow (the paper's motivating app).
+
+The pole expansion and selected inversion (PEXSI) method evaluates the
+density matrix of a Kohn-Sham Hamiltonian ``H`` as a weighted sum of
+selected inverses at complex shifts ("poles"):
+
+    density  ~  sum_l  w_l * diag( (H - z_l S)^{-1} )
+
+Each pole needs only the *selected* elements of an inverse -- exactly
+what PSelInv provides -- and different poles are independent, which is
+why PEXSI runs many selected inversions concurrently on processor
+subgroups (the paper's motivation for taming run-to-run variability).
+
+This example runs a miniature version of that workflow on a DG
+discretized Hamiltonian proxy: a loop over complex poles, each a complex
+*symmetric* selected inversion verified against the exact
+eigendecomposition, followed by one simulated-parallel pole showing the
+per-pole communication profile.
+
+Run:  python examples/electronic_structure_workflow.py
+"""
+
+import numpy as np
+
+from repro.core import ProcessorGrid, SimulatedPSelInv
+from repro.sparse import analyze, from_coo, selinv_sequential
+from repro.sparse.factor import factorize
+from repro.workloads import dg_hamiltonian
+
+
+def shifted_matrix(h, shift):
+    """H + shift*I in sparse form (pattern unchanged: H has a full
+    diagonal).  A complex ``shift`` promotes the matrix to complex
+    symmetric."""
+    data = h.data.astype(np.result_type(h.data.dtype, type(shift)))
+    n = h.n
+    for j in range(n):
+        lo, hi = h.indptr[j], h.indptr[j + 1]
+        rows = h.indices[lo:hi]
+        k = np.searchsorted(rows, j)
+        data[lo + k] += shift
+    return from_coo(
+        n,
+        h.indices,
+        np.repeat(np.arange(n), np.diff(h.indptr)),
+        data,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(2016)
+    h = dg_hamiltonian((4, 4), 8, rng=rng)
+    n = h.n
+    print(f"DG Hamiltonian proxy: n={n}, nnz={h.nnz}")
+
+    dense_h = h.to_dense()
+    eigvals = np.linalg.eigvalsh(dense_h)
+    print(f"spectrum: [{eigvals[0]:.2f}, {eigvals[-1]:.2f}]")
+
+    # A miniature "pole loop": resolvent traces at complex poles around
+    # a chemical potential inside the spectrum.  H - z*I is complex
+    # *symmetric* (not Hermitian) -- exactly the matrices PEXSI feeds to
+    # PSelInv, and the case our transpose-based (no conjugation) kernels
+    # are built for.
+    mu = float(np.median(eigvals))
+    etas = np.array([0.5, 1.0, 2.0, 4.0])
+    shifts = mu + 1j * etas
+    weights = np.array([0.4, 0.3, 0.2, 0.1])
+
+    print("\npole loop (sequential selected inversion per pole):")
+    trace_sum = 0.0
+    exact_sum = 0.0
+    for shift, w in zip(shifts, weights):
+        m = shifted_matrix(h, -shift)  # H - z*I, complex symmetric
+        prob = analyze(m, ordering="nd")
+        _, inv = selinv_sequential(prob)
+        trace = complex(np.sum([inv.entry(i, i) for i in range(n)]))
+        exact = complex(np.sum(1.0 / (eigvals - shift)))
+        trace_sum += w * trace.imag
+        exact_sum += w * exact.imag
+        print(
+            f"  z={shift:.3f}  tr[(H-zI)^-1] = {trace:.4f}"
+            f"   exact {exact:.4f}   |err| {abs(trace - exact):.2e}"
+        )
+    print(
+        f"weighted Im-trace sum (density proxy): selinv {trace_sum:.6f} "
+        f"vs exact {exact_sum:.6f}"
+    )
+
+    # One pole through the simulated parallel machine: in production each
+    # pole runs on its own processor subgroup; the shifted binary trees
+    # keep per-pole runtimes uniform so the pole loop load-balances.
+    print("\nsimulated parallel inversion of one pole (4x4 grid, shifted tree):")
+    m = shifted_matrix(h, -complex(shifts[0]))
+    prob = analyze(m, ordering="nd")
+    raw = factorize(prob.matrix, prob.struct)
+    res = SimulatedPSelInv(
+        prob.struct, ProcessorGrid(4, 4), "shifted", factor=raw, seed=1
+    ).run()
+    trace = complex(np.sum([res.inverse.entry(i, i) for i in range(n)]))
+    exact = complex(np.sum(1.0 / (eigvals - shifts[0])))
+    print(f"  parallel trace {trace:.6f}  (|err| vs exact: "
+          f"{abs(trace - exact):.2e})")
+    print(f"  simulated makespan {res.makespan*1e3:.3f} ms, "
+          f"{res.events} events")
+    v = res.stats.total_sent() / 1e3
+    print(
+        f"  per-rank sent volume: min {v.min():.1f} / "
+        f"median {np.median(v):.1f} / max {v.max():.1f} KB"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""End-user workflow: load a Matrix Market file, invert, inspect.
+
+Demonstrates the adoption path for someone with their own matrix (e.g.
+the real ``audikw_1.mtx`` from the SuiteSparse collection):
+
+1. read the ``.mtx`` file (here we synthesize one first so the example
+   is self-contained and offline);
+2. run the preprocessing pipeline and report fill statistics and the
+   structural parallelism profile;
+3. compute selected elements of the inverse sequentially;
+4. replay the same inversion through the simulated parallel machine with
+   the unsymmetric protocol (works for any structurally symmetrizable
+   matrix) and report the communication footprint per tree scheme.
+
+Run:  python examples/load_and_invert.py [path/to/matrix.mtx]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import concurrency_profile, critical_path
+from repro.core import (
+    ProcessorGrid,
+    SimulatedPSelInvUnsym,
+    communication_volumes,
+    iter_unsym_plans,
+    volume_summary,
+)
+from repro.sparse import (
+    analyze,
+    factorize,
+    read_matrix_market,
+    selinv_sequential,
+    write_matrix_market,
+)
+from repro.workloads import random_spd_sparse
+
+
+def synthesize(path: Path) -> None:
+    """Write a small demo matrix so the example runs self-contained."""
+    rng = np.random.default_rng(42)
+    m = random_spd_sparse(300, 6.0, rng=rng)
+    write_matrix_market(path, m, comment="repro demo matrix")
+    print(f"(no input given: synthesized {path} -- n={m.n}, nnz={m.nnz})")
+
+
+def main(path_arg: str | None) -> None:
+    if path_arg is None:
+        tmp = Path(tempfile.mkdtemp()) / "demo.mtx"
+        synthesize(tmp)
+        path = tmp
+    else:
+        path = Path(path_arg)
+
+    matrix = read_matrix_market(path)
+    print(f"loaded {path.name}: n={matrix.n}, nnz={matrix.nnz}")
+
+    prob = analyze(matrix, ordering="nd", max_supernode=16)
+    st = prob.stats()
+    print(
+        f"analyzed: nnz(LU)={st['nnz_lu']:,} (fill {st['fill_ratio']:.1f}x), "
+        f"{st['nsup']} supernodes"
+    )
+    prof = concurrency_profile(prob.struct)
+    cp = critical_path(prob.struct)
+    print(
+        f"task DAG: depth {prof['depth']}, max width {prof['max_width']}, "
+        f"work/span speedup bound {cp['max_speedup']:.1f}x"
+    )
+
+    _, inv = selinv_sequential(prob)
+    diag = np.array([inv.entry(i, i) for i in range(prob.n)])
+    print(
+        f"selected inverse: diag range [{diag.real.min():.4f}, "
+        f"{diag.real.max():.4f}], trace {diag.sum():.4f}"
+    )
+
+    grid = ProcessorGrid(4, 4)
+    raw = factorize(prob.matrix, prob.struct)
+    res = SimulatedPSelInvUnsym(
+        prob.struct, grid, "shifted", factor=raw, seed=1
+    ).run()
+    check = np.abs(
+        res.inverse.to_dense_at_structure() - inv.to_dense_at_structure()
+    ).max()
+    print(
+        f"\nsimulated unsymmetric PSelInv on {grid.pr}x{grid.pc} ranks: "
+        f"max |diff| vs sequential = {check:.2e}"
+    )
+
+    plans = list(iter_unsym_plans(prob.struct, grid))
+    print("\ncommunication footprint per scheme (total col-bcast MB sent):")
+    for scheme in ("flat", "binary", "shifted"):
+        rep = communication_volumes(
+            prob.struct, grid, scheme, seed=1, plans=plans
+        )
+        s = volume_summary(rep.col_bcast_sent())
+        print(
+            f"  {scheme:8s} min={s['min']:.3f} max={s['max']:.3f} "
+            f"std={s['std']:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

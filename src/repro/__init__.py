@@ -1,0 +1,28 @@
+"""repro -- reproduction of "Enhancing Scalability and Load Balancing of
+Parallel Selected Inversion via Tree-Based Asynchronous Communication"
+(Jacquelin, Yang, Lin, Wichmann -- IPDPS 2016).
+
+Public API tour
+---------------
+Sparse substrate (SuperLU_DIST stand-in)::
+
+    from repro.sparse import analyze, selinv_sequential
+
+Workload proxies for the paper's six test matrices::
+
+    from repro.workloads import make_workload
+
+Restricted-collective trees (the contribution)::
+
+    from repro.comm import flat_tree, binary_tree, shifted_binary_tree
+
+Parallel selected inversion on the simulated machine::
+
+    from repro.core import ProcessorGrid, run_pselinv, communication_volumes
+"""
+
+from . import analysis, comm, core, simulate, sparse, workloads
+
+__version__ = "1.0.0"
+
+__all__ = ["analysis", "comm", "core", "simulate", "sparse", "workloads", "__version__"]

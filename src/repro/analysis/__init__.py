@@ -1,0 +1,37 @@
+"""Reporting: tables, heat maps, histograms, scaling series."""
+
+from .concurrency import (
+    concurrency_profile,
+    critical_path,
+    pipeline_depth_estimate,
+    supernode_flops,
+)
+from .heatmap import (
+    diagonal_concentration,
+    render_ascii,
+    stripe_score,
+    uniformity,
+)
+from .histogram import render_histogram, tail_fraction, volume_histogram
+from .scaling import ScalingSeries, modeled_superlu_time, speedup_table
+from .stats import Table, summary_row, timing_summary
+
+__all__ = [
+    "ScalingSeries",
+    "concurrency_profile",
+    "critical_path",
+    "pipeline_depth_estimate",
+    "supernode_flops",
+    "Table",
+    "diagonal_concentration",
+    "modeled_superlu_time",
+    "render_ascii",
+    "render_histogram",
+    "speedup_table",
+    "stripe_score",
+    "summary_row",
+    "tail_fraction",
+    "timing_summary",
+    "uniformity",
+    "volume_histogram",
+]

@@ -1,0 +1,109 @@
+"""Task-concurrency analysis of the supernodal elimination tree.
+
+Paper §II-B: loop iterates of the selected inversion can run
+simultaneously when supernodes lie on disjoint critical paths of the
+elimination tree and their processor sets don't collide.  This module
+quantifies that structural parallelism:
+
+* :func:`concurrency_profile` -- how many supernodes are available at
+  each level of the supernodal tree, the width/depth of the task DAG;
+* :func:`critical_path` -- the longest weighted root-to-leaf chain
+  (weights: per-supernode selected-inversion flops), i.e. the span of
+  the computation; with total work this gives the classic work/span
+  bound on achievable speedup;
+* :func:`pipeline_depth_estimate` -- how deep the descending-order
+  window must be to keep P ranks busy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.supernodes import SupernodalStructure
+
+__all__ = [
+    "concurrency_profile",
+    "critical_path",
+    "pipeline_depth_estimate",
+    "supernode_flops",
+]
+
+
+def supernode_flops(struct: SupernodalStructure, k: int) -> float:
+    """Selected-inversion work of one supernode (GEMM-dominated model)."""
+    s = struct.width(k)
+    m = len(struct.rows_below[k])
+    return 2.0 * m * m * s + 4.0 * s * s * m + float(s) ** 3
+
+
+def concurrency_profile(struct: SupernodalStructure) -> dict[str, object]:
+    """Width/depth statistics of the supernodal task DAG.
+
+    Returns the per-level supernode counts (level = distance from the
+    root(s), the order selected inversion processes them), the maximum
+    and mean width, and the depth.
+    """
+    nsup = struct.nsup
+    level = np.zeros(nsup, dtype=np.int64)
+    for k in range(nsup - 1, -1, -1):
+        p = struct.sparent[k]
+        if p >= 0:
+            level[k] = level[p] + 1
+    depth = int(level.max()) + 1 if nsup else 0
+    widths = np.bincount(level, minlength=depth)
+    return {
+        "nsup": nsup,
+        "depth": depth,
+        "widths": widths,
+        "max_width": int(widths.max()) if nsup else 0,
+        "mean_width": float(widths.mean()) if nsup else 0.0,
+    }
+
+
+def critical_path(struct: SupernodalStructure) -> dict[str, float]:
+    """Work/span analysis with the flop model as task weights.
+
+    ``span`` is the heaviest chain from any supernode up through its
+    ancestors; ``work`` the total; ``max_speedup = work / span`` bounds
+    the strong scaling of *any* schedule of this DAG -- the structural
+    ceiling the paper's communication improvements move PSelInv toward.
+    """
+    nsup = struct.nsup
+    flops = np.array([supernode_flops(struct, k) for k in range(nsup)])
+    chain = flops.copy()
+    # Descending processing order: a supernode depends on its ancestors,
+    # so chain(k) = flops(k) + chain(parent(k)).
+    for k in range(nsup - 1, -1, -1):
+        p = struct.sparent[k]
+        if p >= 0:
+            chain[k] += chain[p]
+    work = float(flops.sum())
+    span = float(chain.max()) if nsup else 0.0
+    return {
+        "work": work,
+        "span": span,
+        "max_speedup": work / span if span else 1.0,
+    }
+
+
+def pipeline_depth_estimate(
+    struct: SupernodalStructure, nranks: int
+) -> dict[str, float]:
+    """How much lookahead the descending pipeline needs for P ranks.
+
+    A window of W outstanding supernodes exposes roughly the W cheapest
+    independent task sets; we report the smallest W whose cumulative
+    task count (GEMMs of the W largest supernodes) reaches ``nranks``,
+    plus the average GEMM count per supernode.
+    """
+    gemms = np.array(
+        [len(struct.block_rows[k]) ** 2 for k in range(struct.nsup)]
+    )
+    order = np.sort(gemms)[::-1]
+    cum = np.cumsum(order)
+    idx = int(np.searchsorted(cum, nranks)) + 1
+    return {
+        "suggested_window": float(min(idx, struct.nsup)),
+        "mean_gemms_per_supernode": float(gemms.mean()) if struct.nsup else 0.0,
+        "total_gemms": float(gemms.sum()),
+    }

@@ -1,0 +1,89 @@
+"""Strong-scaling series containers and speedup analysis (paper Fig. 8).
+
+Fig. 8 plots PSelInv wall-clock time against processor count for each
+communication scheme (plus SuperLU_DIST as a factorization reference),
+with error bars over 6 repeated runs.  The claims we reproduce:
+
+* Binary-Tree beats Flat-Tree by a growing factor (avg 2.4x, up to 6.15x
+  at 12,100 procs for DG_PNF14000);
+* Shifted Binary-Tree adds more (avg 3.0x, 4.5x beyond 1,024 procs,
+  8x max);
+* the run-to-run standard deviation shrinks (1.72x for Binary, >4x for
+  Shifted at scale).
+
+:class:`ScalingSeries` holds repeated-run samples per processor count;
+:func:`speedup_table` compares two series the way the paper quotes
+factors (ratios of mean times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .stats import timing_summary
+
+__all__ = ["ScalingSeries", "speedup_table", "modeled_superlu_time"]
+
+
+@dataclass
+class ScalingSeries:
+    """Timing samples of one scheme across processor counts."""
+
+    label: str
+    samples: dict[int, list[float]] = field(default_factory=dict)
+
+    def add(self, nprocs: int, seconds: float) -> None:
+        self.samples.setdefault(int(nprocs), []).append(float(seconds))
+
+    def procs(self) -> list[int]:
+        return sorted(self.samples)
+
+    def mean(self, nprocs: int) -> float:
+        return timing_summary(self.samples[nprocs])["mean"]
+
+    def std(self, nprocs: int) -> float:
+        return timing_summary(self.samples[nprocs])["std"]
+
+    def summary(self) -> dict[int, dict[str, float]]:
+        return {p: timing_summary(v) for p, v in sorted(self.samples.items())}
+
+
+def speedup_table(
+    baseline: ScalingSeries, improved: ScalingSeries
+) -> dict[int, float]:
+    """Mean-time ratio baseline/improved at each shared processor count
+    (the paper's "speedup factor ... ratio between average values")."""
+    out: dict[int, float] = {}
+    for p in baseline.procs():
+        if p in improved.samples:
+            out[p] = baseline.mean(p) / improved.mean(p)
+    return out
+
+
+def modeled_superlu_time(
+    factor_flops: float,
+    nnz_l: int,
+    nprocs: int,
+    *,
+    flop_rate: float = 5.0e9,
+    bandwidth: float = 6.0e9,
+    latency: float = 1.5e-6,
+    nsup: int = 1000,
+) -> float:
+    """Analytic SuperLU_DIST-style strong-scaling reference curve.
+
+    The paper plots SuperLU_DIST's factorization time alongside PSelInv as
+    a scaling reference (it is a preprocessing step, run on the real
+    machine).  We do not simulate the factorization pipeline; instead we
+    use the standard 2D-distributed dense-panel model: perfectly
+    parallelized flops plus a panel-communication term that scales like
+    ``nnz(L)/sqrt(P)`` and a latency term ``~ nsup * log(P)``.
+    Documented as a *modelled* curve in EXPERIMENTS.md.
+    """
+    p = max(1, int(nprocs))
+    t_flops = factor_flops / (p * flop_rate)
+    t_bw = 8.0 * nnz_l / np.sqrt(p) / bandwidth
+    t_lat = nsup * np.log2(max(p, 2)) * latency
+    return float(t_flops + t_bw + t_lat)

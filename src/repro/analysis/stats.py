@@ -1,0 +1,89 @@
+"""Summary statistics and table rendering for the experiment harness.
+
+The paper reports communication volumes as (min, max, median, std-dev)
+tables and timings as mean +/- std over repeated runs.  This module turns
+per-rank arrays and per-run samples into those summaries and renders them
+as aligned plain-text tables (the benchmark scripts print them next to
+the paper's numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["summary_row", "Table", "timing_summary"]
+
+
+def summary_row(per_rank_bytes: np.ndarray, *, unit: float = 1e6) -> dict[str, float]:
+    """Min/max/median/std of a per-rank byte vector, in ``unit`` bytes
+    (default MB) -- the format of the paper's Tables I and II."""
+    v = np.asarray(per_rank_bytes, dtype=float) / unit
+    return {
+        "min": float(v.min()),
+        "max": float(v.max()),
+        "median": float(np.median(v)),
+        "std": float(v.std(ddof=0)),
+        "mean": float(v.mean()),
+    }
+
+
+def timing_summary(samples) -> dict[str, float]:
+    """Mean/std/min/max over repeated runs (the paper's error bars)."""
+    v = np.asarray(list(samples), dtype=float)
+    if v.size == 0:
+        raise ValueError("no samples")
+    return {
+        "mean": float(v.mean()),
+        "std": float(v.std(ddof=0)),
+        "min": float(v.min()),
+        "max": float(v.max()),
+        "runs": int(v.size),
+    }
+
+
+@dataclass
+class Table:
+    """A minimal aligned-text table builder."""
+
+    title: str
+    columns: list[str]
+
+    def __post_init__(self) -> None:
+        self._rows: list[list[str]] = []
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self._rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000 or abs(cell) < 0.001:
+                return f"{cell:.3g}"
+            return f"{cell:.3f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self._rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

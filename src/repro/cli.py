@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's experiments::
+
+    python -m repro workloads                 # list workload proxies
+    python -m repro analyze audikw_1          # symbolic stats (Table II cols)
+    python -m repro volumes audikw_1 -g 8     # Tables I/II volume summary
+    python -m repro heatmap audikw_1 -g 8     # Fig. 5 ASCII heat maps
+    python -m repro scaling -g 16 -r 2        # Fig. 8 mini strong scaling
+    python -m repro selinv                    # quick numeric demo + check
+
+All commands run on the simulated machine; nothing requires MPI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_workloads(args) -> int:
+    from .workloads import WORKLOADS, workload_names
+
+    print(f"{'name':<20} {'regime':<7} {'paper n':>10}  description")
+    for name in workload_names():
+        w = WORKLOADS[name]
+        print(f"{name:<20} {w.regime:<7} {w.paper_n:>10,}  {w.description[:60]}")
+    return 0
+
+
+def _analyzed(args):
+    from .sparse import analyze
+    from .workloads import make_workload
+
+    matrix = make_workload(args.workload, args.scale)
+    return analyze(matrix, ordering="nd", max_supernode=args.max_supernode)
+
+
+def _cmd_analyze(args) -> int:
+    prob = _analyzed(args)
+    st = prob.stats()
+    for k, v in st.items():
+        print(f"{k:>12}: {v:,}" if isinstance(v, int) else f"{k:>12}: {v:.3f}")
+    return 0
+
+
+def _cmd_volumes(args) -> int:
+    from .analysis import Table
+    from .core import ProcessorGrid, communication_volumes, iter_plans, volume_summary
+
+    prob = _analyzed(args)
+    grid = ProcessorGrid(args.grid, args.grid)
+    plans = list(iter_plans(prob.struct, grid))
+    for title, getter in (
+        ("Col-Bcast sent (MB)  [Table I]", "col_bcast_sent"),
+        ("Row-Reduce received (MB)  [Table II]", "row_reduce_received"),
+    ):
+        table = Table(title, ["scheme", "min", "max", "median", "std"])
+        for scheme in ("flat", "binary", "shifted"):
+            rep = communication_volumes(
+                prob.struct, grid, scheme, seed=args.seed, plans=plans
+            )
+            s = volume_summary(getattr(rep, getter)())
+            table.add(scheme, s["min"], s["max"], s["median"], s["std"])
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_heatmap(args) -> int:
+    from .analysis import render_ascii, uniformity
+    from .core import ProcessorGrid, communication_volumes, iter_plans
+
+    prob = _analyzed(args)
+    grid = ProcessorGrid(args.grid, args.grid)
+    plans = list(iter_plans(prob.struct, grid))
+    maps = {}
+    for scheme in ("flat", "binary", "shifted"):
+        rep = communication_volumes(
+            prob.struct, grid, scheme, seed=args.seed, plans=plans
+        )
+        maps[scheme] = rep.heatmap("col-bcast-total")
+    vmax = max(maps["flat"].max(), maps["shifted"].max())
+    for scheme, hm in maps.items():
+        print(f"[{scheme}]  coeff-of-variation={uniformity(hm):.3f}")
+        print(render_ascii(hm, vmax=vmax if scheme != "binary" else None))
+        print()
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from .analysis import ScalingSeries, Table, speedup_table
+    from .core import ProcessorGrid, SimulatedPSelInv, iter_plans
+    from .simulate import NetworkConfig
+
+    prob = _analyzed(args)
+    net = NetworkConfig(jitter_sigma=0.2)
+    sides = [s for s in (4, 8, 16, 23, 32, 46) if s <= args.grid]
+    schemes = ("flat", "binary", "shifted")
+    series = {s: ScalingSeries(s) for s in schemes}
+    for side in sides:
+        grid = ProcessorGrid(side, side)
+        plans = list(iter_plans(prob.struct, grid))
+        for scheme in schemes:
+            cache: dict = {}
+            for run in range(args.runs):
+                res = SimulatedPSelInv(
+                    prob.struct, grid, scheme,
+                    network=net, seed=args.seed, jitter_seed=run,
+                    placement_seed=run + 77, plans=plans, lookahead=4,
+                    tree_cache=cache,
+                ).run()
+                series[scheme].add(grid.size, res.makespan)
+            print(
+                f"P={grid.size:5d} {scheme:8s} "
+                f"{series[scheme].mean(grid.size) * 1e3:8.2f} ms "
+                f"± {series[scheme].std(grid.size) * 1e3:.2f}",
+                file=sys.stderr,
+            )
+    table = Table("Strong scaling (simulated ms)", ["P", *schemes])
+    for side in sides:
+        p = side * side
+        table.add(p, *(f"{series[s].mean(p) * 1e3:.2f}" for s in schemes))
+    print(table.render())
+    sp = speedup_table(series["flat"], series["shifted"])
+    print("\nshifted speedup over flat: " + "  ".join(
+        f"P={p}: {v:.2f}x" for p, v in sp.items()
+    ))
+    return 0
+
+
+def _cmd_concurrency(args) -> int:
+    from .analysis import concurrency_profile, critical_path, pipeline_depth_estimate
+
+    prob = _analyzed(args)
+    prof = concurrency_profile(prob.struct)
+    cp = critical_path(prob.struct)
+    est = pipeline_depth_estimate(prob.struct, args.grid * args.grid)
+    print(f"supernodes        : {prof['nsup']}")
+    print(f"task-DAG depth    : {prof['depth']}")
+    print(f"max level width   : {prof['max_width']}")
+    print(f"work (flops)      : {cp['work']:.3e}")
+    print(f"span (flops)      : {cp['span']:.3e}")
+    print(f"max speedup bound : {cp['max_speedup']:.1f}x")
+    print(
+        f"suggested window  : {est['suggested_window']:.0f} supernodes "
+        f"for {args.grid * args.grid} ranks"
+    )
+    return 0
+
+
+def _cmd_selinv(args) -> int:
+    from .core import ProcessorGrid, SimulatedPSelInv
+    from .sparse import analyze, selinv_sequential
+    from .sparse.factor import factorize
+    from .workloads import grid_laplacian_2d
+
+    matrix = grid_laplacian_2d(10, 10, rng=np.random.default_rng(0))
+    prob = analyze(matrix, ordering="nd")
+    _, inv = selinv_sequential(prob)
+    dense_inv = np.linalg.inv(prob.matrix.to_dense())
+    rr, cc = inv.stored_positions()
+    err = np.abs(inv.to_dense_at_structure()[rr, cc] - dense_inv[rr, cc]).max()
+    print(f"sequential selinv on 10x10 Laplacian: max |err| = {err:.2e}")
+    raw = factorize(prob.matrix, prob.struct)
+    res = SimulatedPSelInv(
+        prob.struct, ProcessorGrid(3, 3), "shifted", factor=raw
+    ).run()
+    perr = np.abs(
+        res.inverse.to_dense_at_structure() - inv.to_dense_at_structure()
+    ).max()
+    print(f"simulated 3x3-grid PSelInv: max |diff| = {perr:.2e}, "
+          f"makespan {res.makespan * 1e3:.3f} ms")
+    return 0 if max(err, perr) < 1e-9 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PSelInv tree-based restricted collectives reproduction",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list workload proxies").set_defaults(
+        fn=_cmd_workloads
+    )
+
+    def common(sp, grid_default=8):
+        sp.add_argument("workload", nargs="?", default="audikw_1")
+        sp.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+        sp.add_argument("--max-supernode", type=int, default=8)
+        sp.add_argument("-g", "--grid", type=int, default=grid_default)
+        sp.add_argument("--seed", type=int, default=20160523)
+
+    sp = sub.add_parser("analyze", help="symbolic factorization stats")
+    common(sp)
+    sp.set_defaults(fn=_cmd_analyze)
+
+    sp = sub.add_parser("volumes", help="Tables I/II volume summaries")
+    common(sp)
+    sp.set_defaults(fn=_cmd_volumes)
+
+    sp = sub.add_parser("heatmap", help="Fig. 5 ASCII heat maps")
+    common(sp)
+    sp.set_defaults(fn=_cmd_heatmap)
+
+    sp = sub.add_parser("scaling", help="Fig. 8 mini strong-scaling sweep")
+    common(sp, grid_default=16)
+    sp.add_argument("-r", "--runs", type=int, default=2)
+    sp.set_defaults(fn=_cmd_scaling)
+
+    sp = sub.add_parser(
+        "concurrency", help="elimination-tree parallelism profile"
+    )
+    common(sp)
+    sp.set_defaults(fn=_cmd_concurrency)
+
+    sp = sub.add_parser("selinv", help="quick numeric correctness demo")
+    sp.set_defaults(fn=_cmd_selinv)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Restricted collective communication (the paper's contribution layer)."""
+
+from .collectives import TreeBroadcast, TreeReduce
+from .trees import (
+    TREE_SCHEMES,
+    CommTree,
+    binary_tree,
+    binomial_tree,
+    build_tree,
+    derive_seed,
+    flat_tree,
+    hybrid_tree,
+    random_perm_tree,
+    shifted_binary_tree,
+)
+
+__all__ = [
+    "TREE_SCHEMES",
+    "CommTree",
+    "TreeBroadcast",
+    "TreeReduce",
+    "binary_tree",
+    "binomial_tree",
+    "build_tree",
+    "derive_seed",
+    "flat_tree",
+    "hybrid_tree",
+    "random_perm_tree",
+    "shifted_binary_tree",
+]

@@ -1,0 +1,154 @@
+"""Asynchronous restricted collectives over point-to-point messages.
+
+State machines that move data along a :class:`~repro.comm.trees.CommTree`
+using only the machine's non-blocking sends -- the software equivalent of
+building ``MPI_Bcast`` / ``MPI_Reduce`` out of ``MPI_Isend`` /
+``MPI_Irecv`` as the paper does.  Any number of instances can be in
+flight simultaneously; progress is purely message-driven, which is what
+lets PSelInv pipeline supernodes without barriers.
+
+In numeric mode payloads are ndarrays and reductions really sum; in
+symbolic (timing/volume-only) mode payloads are ``None`` and reductions
+just count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..simulate.machine import Machine, Message
+from .trees import CommTree
+
+__all__ = ["TreeBroadcast", "TreeReduce"]
+
+
+class TreeBroadcast:
+    """One restricted broadcast: root pushes, internal nodes forward.
+
+    ``on_delivery(rank, payload)`` fires on every participant (including
+    the root) once the data is locally available.  Forwarding costs the
+    forwarder NIC time via :meth:`Machine.post_send`; the receive-side
+    overhead is charged by the machine itself.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        tree: CommTree,
+        tag: Any,
+        nbytes: int,
+        category: str,
+        on_delivery: Callable[[int, Any], None],
+    ) -> None:
+        self.machine = machine
+        self.tree = tree
+        self.tag = tag
+        self.nbytes = int(nbytes)
+        self.category = category
+        self.on_delivery = on_delivery
+        self._started = False
+
+    def start(self, payload: Any = None) -> None:
+        """Called (once) on the root when its data is ready."""
+        if self._started:
+            raise RuntimeError(f"broadcast {self.tag} started twice")
+        self._started = True
+        self._forward(self.tree.root, payload)
+
+    def on_message(self, msg: Message) -> None:
+        """Handler entry point: a tree parent forwarded us the payload."""
+        self._forward(msg.dst, msg.payload)
+
+    def _forward(self, rank: int, payload: Any) -> None:
+        for child in self.tree.children.get(rank, ()):
+            self.machine.post_send(
+                rank, child, self.tag, self.nbytes, self.category, payload
+            )
+        self.on_delivery(rank, payload)
+
+
+class TreeReduce:
+    """One restricted reduction: contributions combine leaves -> root.
+
+    Every rank in ``contributors`` must eventually call
+    :meth:`contribute` exactly once; tree-internal ranks combine child
+    messages with their own contribution (if any) and send the partial
+    result to their parent.  ``on_complete(value)`` fires on the root.
+
+    ``combine`` defaults to ``+`` for ndarray payloads and is skipped for
+    ``None`` payloads (symbolic mode).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        tree: CommTree,
+        tag: Any,
+        nbytes: int,
+        category: str,
+        contributors: set[int],
+        on_complete: Callable[[Any], None],
+        combine: Callable[[Any, Any], Any] | None = None,
+    ) -> None:
+        self.machine = machine
+        self.tree = tree
+        self.tag = tag
+        self.nbytes = int(nbytes)
+        self.category = category
+        self.contributors = set(int(r) for r in contributors)
+        self.on_complete = on_complete
+        self.combine = combine
+        unknown = self.contributors - set(tree.ranks())
+        if unknown:
+            raise ValueError(f"contributors {unknown} not in the tree")
+        # Per-rank progress: how many inputs are still outstanding and the
+        # running partial value.
+        self._pending: dict[int, int] = {}
+        self._value: dict[int, Any] = {}
+        self._done: dict[int, bool] = {}
+        for r in tree.ranks():
+            expected = tree.child_count(r) + (1 if r in self.contributors else 0)
+            self._pending[r] = expected
+            self._value[r] = None
+            self._done[r] = False
+            if expected == 0:
+                # A pure relay with no children and no contribution can
+                # only happen for a degenerate tree; fire immediately.
+                self._finish(r)
+
+    def contribute(self, rank: int, value: Any = None) -> None:
+        """Provide ``rank``'s local contribution (exactly once)."""
+        if rank not in self.contributors:
+            raise ValueError(f"rank {rank} is not a contributor of {self.tag}")
+        self._absorb(rank, value)
+
+    def on_message(self, msg: Message) -> None:
+        """Handler entry point: a child sent us its partial result."""
+        self._absorb(msg.dst, msg.payload)
+
+    def _absorb(self, rank: int, value: Any) -> None:
+        if self._done[rank]:
+            raise RuntimeError(f"reduce {self.tag}: input after completion at {rank}")
+        cur = self._value[rank]
+        if cur is None:
+            self._value[rank] = value
+        elif value is not None:
+            fn = self.combine if self.combine is not None else (lambda a, b: a + b)
+            self._value[rank] = fn(cur, value)
+        self._pending[rank] -= 1
+        if self._pending[rank] == 0:
+            self._finish(rank)
+
+    def _finish(self, rank: int) -> None:
+        self._done[rank] = True
+        if rank == self.tree.root:
+            self.on_complete(self._value[rank])
+        else:
+            self.machine.post_send(
+                rank,
+                self.tree.parent[rank],
+                self.tag,
+                self.nbytes,
+                self.category,
+                self._value[rank],
+            )

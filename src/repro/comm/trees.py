@@ -1,0 +1,269 @@
+"""Communication-tree construction for restricted collectives (paper §III).
+
+A *restricted collective* involves an arbitrary subset of the ranks in a
+row/column group of the 2D processor grid -- one subset per supernode and
+block, tens of thousands of them per selected inversion, far beyond what
+MPI communicators can be pre-created for.  Each collective is therefore
+realized over asynchronous point-to-point messages routed along a tree
+built here.  Five schemes:
+
+* :func:`flat_tree` -- the root sends to every participant directly
+  (PSelInv v0.7.3 behaviour; ``p - 1`` root messages).
+* :func:`binary_tree` -- participants sorted ascending after the root; the
+  list is split recursively in two halves whose heads become children
+  (Fig. 3(b)).  Root degree <= 2, depth ~ log2(p), but the *lowest* rank
+  of a group is picked as an internal node by every broadcast that it
+  participates in -- the striped hot spots of Fig. 5(b).
+* :func:`shifted_binary_tree` -- **the paper's contribution**: a seeded
+  random circular shift of the sorted participant list before the binary
+  construction (Fig. 3(c)), so different collectives pick different
+  internal nodes and the forwarding load spreads across the group.
+* :func:`random_perm_tree` -- full random permutation instead of a shift;
+  implemented because the paper *rejects* it (worse locality and, in
+  their experiments, worse balance) and our ablation benchmarks test that
+  claim.
+* :func:`hybrid_tree` -- flat below a participant-count threshold and
+  shifted-binary above, the "future work" scheme suggested in §IV-B for
+  exploiting cheap intra-node flat broadcasts.
+
+Trees are direction-agnostic: a broadcast pushes data root -> leaves along
+child edges, a reduction pulls contributions leaves -> root along the same
+edges reversed, exactly as MPI_Bcast/MPI_Reduce share tree shapes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "CommTree",
+    "flat_tree",
+    "binary_tree",
+    "binomial_tree",
+    "shifted_binary_tree",
+    "random_perm_tree",
+    "hybrid_tree",
+    "build_tree",
+    "derive_seed",
+    "TREE_SCHEMES",
+]
+
+
+@dataclass
+class CommTree:
+    """An oriented communication tree over a set of ranks.
+
+    ``order`` is the construction order (root first); ``parent`` and
+    ``children`` describe the edges.  Invariants (enforced in tests): the
+    edges span exactly the participant set, the root has no parent, and
+    every other rank has exactly one parent.
+    """
+
+    root: int
+    order: tuple[int, ...]
+    parent: dict[int, int]
+    children: dict[int, tuple[int, ...]]
+
+    @property
+    def size(self) -> int:
+        return len(self.order)
+
+    def ranks(self) -> tuple[int, ...]:
+        return self.order
+
+    def child_count(self, rank: int) -> int:
+        return len(self.children.get(rank, ()))
+
+    def is_leaf(self, rank: int) -> bool:
+        return self.child_count(rank) == 0
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length in edges."""
+        depths = {self.root: 0}
+        best = 0
+        for r in self.order[1:]:
+            d = depths[self.parent[r]] + 1
+            depths[r] = d
+            best = max(best, d)
+        return best
+
+    def internal_ranks(self) -> list[int]:
+        """Ranks that forward data (have at least one child)."""
+        return [r for r in self.order if self.child_count(r) > 0]
+
+
+def _normalize(root: int, participants: Iterable[int]) -> list[int]:
+    """Sorted, deduplicated non-root participant list (root validated in)."""
+    s = set(int(p) for p in participants)
+    s.add(int(root))
+    s.discard(int(root))
+    return sorted(s)
+
+
+def _binary_from_order(order: Sequence[int]) -> CommTree:
+    """Build the recursive-halving binary tree from an ordered rank list.
+
+    ``order[0]`` is the root.  Each node owns a contiguous sublist; its
+    tail is split into two halves (first half gets the ceiling) whose
+    heads become its children.  Reproduces the paper's Fig. 3(b)/(c).
+    """
+    root = int(order[0])
+    parent: dict[int, int] = {}
+    children: dict[int, list[int]] = {r: [] for r in order}
+    # Work list of (owner, sublist) where sublist excludes the owner.
+    stack: list[tuple[int, Sequence[int]]] = [(root, order[1:])]
+    while stack:
+        owner, rest = stack.pop()
+        m = len(rest)
+        if m == 0:
+            continue
+        half = (m + 1) // 2
+        left, right = rest[:half], rest[half:]
+        for part in (left, right):
+            if part:
+                head = int(part[0])
+                parent[head] = owner
+                children[owner].append(head)
+                stack.append((head, part[1:]))
+    return CommTree(
+        root=root,
+        order=tuple(int(r) for r in order),
+        parent=parent,
+        children={r: tuple(c) for r, c in children.items()},
+    )
+
+
+def flat_tree(root: int, participants: Iterable[int]) -> CommTree:
+    """Centralized star: the root is parent of every other participant."""
+    others = _normalize(root, participants)
+    return CommTree(
+        root=int(root),
+        order=(int(root), *others),
+        parent={r: int(root) for r in others},
+        children={int(root): tuple(others), **{r: () for r in others}},
+    )
+
+
+def binary_tree(root: int, participants: Iterable[int]) -> CommTree:
+    """Recursive-halving binary tree over the sorted participant list."""
+    others = _normalize(root, participants)
+    return _binary_from_order([int(root), *others])
+
+
+def shifted_binary_tree(
+    root: int, participants: Iterable[int], seed: int
+) -> CommTree:
+    """Binary tree over a randomly *rotated* sorted participant list.
+
+    The rotation offset is drawn from ``seed``; all ranks of a collective
+    derive the same seed in the preprocessing step (see
+    :func:`derive_seed`), so no extra synchronization is needed -- the
+    property the paper highlights at the end of §III.
+    """
+    others = _normalize(root, participants)
+    if len(others) > 1:
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(len(others)))
+        others = others[k:] + others[:k]
+    return _binary_from_order([int(root), *others])
+
+
+def binomial_tree(root: int, participants: Iterable[int]) -> CommTree:
+    """Binomial tree over the sorted participant list.
+
+    The shape production MPI libraries actually use for ``MPI_Bcast`` on
+    short messages: in round ``j`` every rank at relative position
+    ``r < 2^j`` forwards to position ``r + 2^j``.  Root degree is
+    ``ceil(log2 p)`` (vs 2 for the recursive-halving binary tree), depth
+    ``ceil(log2 p)``.  Shares the binary tree's pathology: with the
+    sorted ordering the same low-position ranks forward in every
+    collective they join.
+    """
+    others = _normalize(root, participants)
+    order = [int(root), *others]
+    p = len(order)
+    parent: dict[int, int] = {}
+    children: dict[int, list[int]] = {r: [] for r in order}
+    for r in range(1, p):
+        # Parent: clear the highest set bit of the relative position.
+        pr_pos = r - (1 << (r.bit_length() - 1))
+        parent[order[r]] = order[pr_pos]
+        children[order[pr_pos]].append(order[r])
+    return CommTree(
+        root=int(root),
+        order=tuple(order),
+        parent=parent,
+        children={k: tuple(v) for k, v in children.items()},
+    )
+
+
+def random_perm_tree(
+    root: int, participants: Iterable[int], seed: int
+) -> CommTree:
+    """Binary tree over a fully permuted participant list (rejected
+    alternative -- destroys rank locality; kept for the ablation study)."""
+    others = _normalize(root, participants)
+    if len(others) > 1:
+        rng = np.random.default_rng(seed)
+        others = [others[i] for i in rng.permutation(len(others))]
+    return _binary_from_order([int(root), *others])
+
+
+def hybrid_tree(
+    root: int,
+    participants: Iterable[int],
+    seed: int,
+    *,
+    threshold: int = 8,
+) -> CommTree:
+    """Flat for small groups, shifted-binary for large ones (§IV-B).
+
+    Small restricted collectives often fit in one node where a flat send
+    is memcpy-cheap and cache-friendly; large ones need the tree.
+    """
+    others = _normalize(root, participants)
+    if len(others) + 1 <= threshold:
+        return flat_tree(root, others)
+    return shifted_binary_tree(root, others, seed)
+
+
+TREE_SCHEMES = ("flat", "binary", "shifted", "randperm", "hybrid", "binomial")
+
+
+def build_tree(
+    scheme: str,
+    root: int,
+    participants: Iterable[int],
+    seed: int = 0,
+    *,
+    hybrid_threshold: int = 8,
+) -> CommTree:
+    """Uniform constructor used by the volume model and the simulator."""
+    if scheme == "flat":
+        return flat_tree(root, participants)
+    if scheme == "binary":
+        return binary_tree(root, participants)
+    if scheme == "shifted":
+        return shifted_binary_tree(root, participants, seed)
+    if scheme == "randperm":
+        return random_perm_tree(root, participants, seed)
+    if scheme == "hybrid":
+        return hybrid_tree(root, participants, seed, threshold=hybrid_threshold)
+    if scheme == "binomial":
+        return binomial_tree(root, participants)
+    raise ValueError(f"unknown tree scheme {scheme!r}; expected one of {TREE_SCHEMES}")
+
+
+def derive_seed(global_seed: int, *components: int) -> int:
+    """Deterministic per-collective seed from the preprocessing-step seed.
+
+    Stable across processes and Python runs (CRC-based, not ``hash()``),
+    mirroring how the paper communicates the random seed once during
+    preprocessing and then builds identical trees on every rank.
+    """
+    buf = np.asarray([global_seed, *components], dtype=np.int64).tobytes()
+    return zlib.crc32(buf) & 0x7FFFFFFF

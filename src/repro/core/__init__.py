@@ -1,0 +1,48 @@
+"""PSelInv core: processor grid, communication plan, volume model,
+and the simulated parallel selected inversion."""
+
+from .grid import ProcessorGrid, square_grids
+from .plan import (
+    BYTES_PER_ENTRY,
+    BlockInfo,
+    CollectiveSpec,
+    PointToPointSpec,
+    SupernodePlan,
+    iter_plans,
+    supernode_plan,
+)
+from .plan_unsym import UnsymSupernodePlan, iter_unsym_plans, unsym_supernode_plan
+from .pselinv import PSelInvResult, SimulatedPSelInv, run_pselinv
+from .pselinv_unsym import SimulatedPSelInvUnsym, run_pselinv_unsym
+from .volume import (
+    VolumeReport,
+    collective_seed,
+    communication_volumes,
+    count_distinct_communicators,
+    volume_summary,
+)
+
+__all__ = [
+    "BYTES_PER_ENTRY",
+    "BlockInfo",
+    "CollectiveSpec",
+    "PSelInvResult",
+    "PointToPointSpec",
+    "ProcessorGrid",
+    "SimulatedPSelInv",
+    "SimulatedPSelInvUnsym",
+    "SupernodePlan",
+    "VolumeReport",
+    "collective_seed",
+    "communication_volumes",
+    "count_distinct_communicators",
+    "iter_plans",
+    "UnsymSupernodePlan",
+    "iter_unsym_plans",
+    "run_pselinv",
+    "run_pselinv_unsym",
+    "unsym_supernode_plan",
+    "square_grids",
+    "supernode_plan",
+    "volume_summary",
+]

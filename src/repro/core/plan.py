@@ -1,0 +1,264 @@
+"""Communication plan: every restricted collective of one selected inversion.
+
+Given the supernodal symbolic structure and a processor grid, enumerates --
+deterministically, with no numeric data -- every communication event of
+the PSelInv second loop (plus the first-loop diagonal broadcasts):
+
+=================  =========================================================
+event              root / endpoints, participants, payload size
+=================  =========================================================
+diag-bcast (K)     diag owner -> owners of ``L(I,K)`` in grid column
+                   ``K mod Pc``; ``s*s`` entries (first loop of Alg. 1)
+cross-send (K,I)   owner of ``L(I,K)`` -> owner of ``U(K,I)``;
+                   ``s * r_I`` entries (symmetric case: ``Uhat = Lhat^T``)
+col-bcast (K,I)    owner of ``U(K,I)`` -> Ainv block owners in grid column
+                   ``I mod Pc``; ``s * r_I`` entries  [Table I measures this]
+row-reduce (K,J)   GEMM contributions in grid row ``J mod Pr`` ->
+                   owner of ``L(J,K)``; ``s * r_J`` entries [Table II]
+col-reduce (K)     diagonal-update contributions in grid column
+                   ``K mod Pc`` -> diag owner; ``s*s`` entries
+cross-back (K,J)   owner of ``L(J,K)`` -> owner of ``U(K,J)``;
+                   ``s * r_J`` entries (fills upper Ainv storage)
+=================  =========================================================
+
+Both the analytic volume model (:mod:`repro.core.volume`) and the
+discrete-event PSelInv (:mod:`repro.core.pselinv`) iterate exactly this
+plan, which is what lets the tests assert byte-for-byte agreement between
+the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+from ..sparse.supernodes import SupernodalStructure
+from .grid import ProcessorGrid
+
+__all__ = [
+    "BYTES_PER_ENTRY",
+    "BlockInfo",
+    "CollectiveSpec",
+    "PointToPointSpec",
+    "SupernodePlan",
+    "supernode_plan",
+    "iter_plans",
+]
+
+BYTES_PER_ENTRY = 8  # float64; the paper's matrices are real double
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """One nonzero block row ``I`` of supernode ``K``'s panel."""
+
+    snode: int  # block-row supernode index I
+    nrows: int  # rows of supernode I present in K's structure (r_I)
+
+
+@dataclass(frozen=True)
+class CollectiveSpec:
+    """One restricted collective (broadcast or reduction)."""
+
+    kind: str  # "diag-bcast" | "col-bcast" | "row-reduce" | "col-reduce"
+    key: tuple  # unique id, e.g. ("cb", K, I)
+    root: int
+    participants: tuple[int, ...]  # including the root
+    nbytes: int
+
+    @property
+    def size(self) -> int:
+        return len(self.participants)
+
+
+@dataclass(frozen=True)
+class PointToPointSpec:
+    """One plain point-to-point transfer (the cross sends)."""
+
+    kind: str  # "cross-send" | "cross-back"
+    key: tuple
+    src: int
+    dst: int
+    nbytes: int
+
+
+@dataclass
+class SupernodePlan:
+    """All communication of one supernode ``K`` of the second loop."""
+
+    k: int
+    width: int
+    blocks: list[BlockInfo]
+    diag_owner: int
+    diag_bcast: CollectiveSpec | None
+    cross_sends: list[PointToPointSpec]
+    col_bcasts: list[CollectiveSpec]
+    row_reduces: list[CollectiveSpec]
+    col_reduce: CollectiveSpec | None
+    cross_backs: list[PointToPointSpec]
+
+    def collectives(self) -> Iterator[CollectiveSpec]:
+        if self.diag_bcast is not None:
+            yield self.diag_bcast
+        yield from self.col_bcasts
+        yield from self.row_reduces
+        if self.col_reduce is not None:
+            yield self.col_reduce
+
+    def point_to_points(self) -> Iterator[PointToPointSpec]:
+        yield from self.cross_sends
+        yield from self.cross_backs
+
+
+def supernode_plan(
+    struct: SupernodalStructure,
+    grid: ProcessorGrid,
+    k: int,
+    *,
+    bytes_per_entry: int = BYTES_PER_ENTRY,
+) -> SupernodePlan:
+    """Build the communication plan of supernode ``k``.
+
+    ``bytes_per_entry`` is 8 for real double matrices and 16 for the
+    complex matrices of PEXSI pole loops.
+    """
+    pr, pc = grid.pr, grid.pc
+    s = struct.width(k)
+    kr, kc = k % pr, k % pc
+    diag_owner = grid.rank(kr, kc)
+    cblocks = struct.block_rows[k]
+    blocks = [
+        BlockInfo(snode=int(i), nrows=struct.block_row_count(k, int(i)))
+        for i in cblocks
+    ]
+    nb_diag = s * s * bytes_per_entry
+
+    if not blocks:
+        return SupernodePlan(
+            k=k,
+            width=s,
+            blocks=[],
+            diag_owner=diag_owner,
+            diag_bcast=None,
+            cross_sends=[],
+            col_bcasts=[],
+            row_reduces=[],
+            col_reduce=None,
+            cross_backs=[],
+        )
+
+    # First loop: diagonal block broadcast down grid column kc to the
+    # owners of the L(I,K) panel blocks.
+    l_owner_rows = sorted({b.snode % pr for b in blocks})
+    diag_participants = tuple(
+        sorted({diag_owner} | {grid.rank(r, kc) for r in l_owner_rows})
+    )
+    # Singleton collectives (all participants collapse onto one rank) are
+    # kept in the plan: they carry no bytes but the simulator still needs
+    # them as dataflow joints.
+    diag_bcast = CollectiveSpec(
+        kind="diag-bcast",
+        key=("db", k),
+        root=diag_owner,
+        participants=diag_participants,
+        nbytes=nb_diag,
+    )
+
+    cross_sends: list[PointToPointSpec] = []
+    col_bcasts: list[CollectiveSpec] = []
+    row_reduces: list[CollectiveSpec] = []
+    cross_backs: list[PointToPointSpec] = []
+
+    # Grid rows hosting any block row of C -- the Ainv block owners within
+    # each broadcast column are exactly these rows.
+    c_rows = sorted({b.snode % pr for b in blocks})
+    c_cols = sorted({b.snode % pc for b in blocks})
+
+    for b in blocks:
+        i = b.snode
+        nb_panel = s * b.nrows * bytes_per_entry
+        l_owner = grid.rank(i % pr, kc)  # owner of L(I,K)
+        u_owner = grid.rank(kr, i % pc)  # owner of U(K,I)
+        cross_sends.append(
+            PointToPointSpec(
+                kind="cross-send",
+                key=("cs", k, i),
+                src=l_owner,
+                dst=u_owner,
+                nbytes=nb_panel,
+            )
+        )
+        participants = tuple(
+            sorted({u_owner} | {grid.rank(r, i % pc) for r in c_rows})
+        )
+        col_bcasts.append(
+            CollectiveSpec(
+                kind="col-bcast",
+                key=("cb", k, i),
+                root=u_owner,
+                participants=participants,
+                nbytes=nb_panel,
+            )
+        )
+
+    for b in blocks:
+        j = b.snode
+        nb_panel = s * b.nrows * bytes_per_entry
+        dest = grid.rank(j % pr, kc)  # owner of L(J,K): reduce destination
+        contributors = {grid.rank(j % pr, c) for c in c_cols}
+        participants = tuple(sorted(contributors | {dest}))
+        row_reduces.append(
+            CollectiveSpec(
+                kind="row-reduce",
+                key=("rr", k, j),
+                root=dest,
+                participants=participants,
+                nbytes=nb_panel,
+            )
+        )
+        u_owner = grid.rank(kr, j % pc)
+        cross_backs.append(
+            PointToPointSpec(
+                kind="cross-back",
+                key=("xb", k, j),
+                src=dest,
+                dst=u_owner,
+                nbytes=nb_panel,
+            )
+        )
+
+    # Diagonal update: contributions live on the owners of L(J,K) (grid
+    # column kc), reduced onto the diagonal owner.
+    contrib = tuple(sorted({grid.rank(r, kc) for r in c_rows} | {diag_owner}))
+    col_reduce = CollectiveSpec(
+        kind="col-reduce",
+        key=("cr", k),
+        root=diag_owner,
+        participants=contrib,
+        nbytes=nb_diag,
+    )
+
+    return SupernodePlan(
+        k=k,
+        width=s,
+        blocks=blocks,
+        diag_owner=diag_owner,
+        diag_bcast=diag_bcast,
+        cross_sends=cross_sends,
+        col_bcasts=col_bcasts,
+        row_reduces=row_reduces,
+        col_reduce=col_reduce,
+        cross_backs=cross_backs,
+    )
+
+
+def iter_plans(
+    struct: SupernodalStructure,
+    grid: ProcessorGrid,
+    *,
+    bytes_per_entry: int = BYTES_PER_ENTRY,
+) -> Iterator[SupernodePlan]:
+    """Plans for every supernode, ascending index order."""
+    for k in range(struct.nsup):
+        yield supernode_plan(struct, grid, k, bytes_per_entry=bytes_per_entry)

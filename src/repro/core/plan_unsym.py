@@ -1,0 +1,222 @@
+"""Communication plan for the unsymmetric parallel selected inversion.
+
+The paper's conclusion names the extension to asymmetric matrices as work
+in progress; this is that extension.  Without ``Uhat = Lhat^T``, the U
+panels must be normalized and moved on their own, which mirrors every
+L-side communication with a transposed counterpart:
+
+=================  =========================================================
+event              root / endpoints, participants, payload size
+=================  =========================================================
+diag-bcast (K)     diag owner -> L(I,K) owners down grid column K mod Pc
+diag-rbcast (K)    diag owner -> U(K,I) owners along grid row K mod Pr
+cross-l2u (K,I)    owner of L(I,K) -> owner of U(K,I): Lhat(I,K)
+col-bcast (K,I)    owner of U(K,I) -> Ainv(J,I) owners, grid col I mod Pc
+cross-u2l (K,I)    owner of U(K,I) -> owner of L(I,K): Uhat(K,I)
+row-bcast (K,I)    owner of L(I,K) -> Ainv(I,J) owners, grid row I mod Pr
+row-reduce (K,J)   GEMM-L partial sums -> owner of L(J,K): Ainv(J,K)
+col-ureduce (K,J)  GEMM-U partial sums -> owner of U(K,J): Ainv(K,J)
+diag-rreduce (K)   Ainv(K,J) Lhat(J,K) contributions along grid row
+                   K mod Pr -> diag owner: Ainv(K,K)
+=================  =========================================================
+
+Unlike the symmetric flow there are no cross-backs: the upper-triangle
+``Ainv(K, C)`` blocks are *computed* at their owners (the U side) by the
+GEMM-U pipeline instead of being transposed copies of the lower ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..sparse.supernodes import SupernodalStructure
+from .grid import ProcessorGrid
+from .plan import (
+    BYTES_PER_ENTRY,
+    BlockInfo,
+    CollectiveSpec,
+    PointToPointSpec,
+)
+
+__all__ = ["UnsymSupernodePlan", "unsym_supernode_plan", "iter_unsym_plans"]
+
+
+@dataclass
+class UnsymSupernodePlan:
+    """All communication of one supernode in the unsymmetric algorithm."""
+
+    k: int
+    width: int
+    blocks: list[BlockInfo]
+    diag_owner: int
+    diag_bcast: CollectiveSpec | None
+    diag_rbcast: CollectiveSpec | None
+    cross_l2u: list[PointToPointSpec]
+    cross_u2l: list[PointToPointSpec]
+    col_bcasts: list[CollectiveSpec]
+    row_bcasts: list[CollectiveSpec]
+    row_reduces: list[CollectiveSpec]
+    col_ureduces: list[CollectiveSpec]
+    diag_rreduce: CollectiveSpec | None
+
+    def collectives(self) -> Iterator[CollectiveSpec]:
+        for spec in (self.diag_bcast, self.diag_rbcast, self.diag_rreduce):
+            if spec is not None:
+                yield spec
+        yield from self.col_bcasts
+        yield from self.row_bcasts
+        yield from self.row_reduces
+        yield from self.col_ureduces
+
+    def point_to_points(self) -> Iterator[PointToPointSpec]:
+        yield from self.cross_l2u
+        yield from self.cross_u2l
+
+
+def unsym_supernode_plan(
+    struct: SupernodalStructure,
+    grid: ProcessorGrid,
+    k: int,
+    *,
+    bytes_per_entry: int = BYTES_PER_ENTRY,
+) -> UnsymSupernodePlan:
+    """Build the unsymmetric communication plan of supernode ``k``."""
+    pr, pc = grid.pr, grid.pc
+    s = struct.width(k)
+    kr, kc = k % pr, k % pc
+    diag_owner = grid.rank(kr, kc)
+    blocks = [
+        BlockInfo(snode=int(i), nrows=struct.block_row_count(k, int(i)))
+        for i in struct.block_rows[k]
+    ]
+    nb_diag = s * s * bytes_per_entry
+
+    if not blocks:
+        return UnsymSupernodePlan(
+            k=k, width=s, blocks=[], diag_owner=diag_owner,
+            diag_bcast=None, diag_rbcast=None,
+            cross_l2u=[], cross_u2l=[], col_bcasts=[], row_bcasts=[],
+            row_reduces=[], col_ureduces=[], diag_rreduce=None,
+        )
+
+    c_rows = sorted({b.snode % pr for b in blocks})
+    c_cols = sorted({b.snode % pc for b in blocks})
+
+    diag_bcast = CollectiveSpec(
+        kind="diag-bcast",
+        key=("db", k),
+        root=diag_owner,
+        participants=tuple(
+            sorted({diag_owner} | {grid.rank(r, kc) for r in c_rows})
+        ),
+        nbytes=nb_diag,
+    )
+    diag_rbcast = CollectiveSpec(
+        kind="diag-rbcast",
+        key=("dr", k),
+        root=diag_owner,
+        participants=tuple(
+            sorted({diag_owner} | {grid.rank(kr, c) for c in c_cols})
+        ),
+        nbytes=nb_diag,
+    )
+
+    cross_l2u: list[PointToPointSpec] = []
+    cross_u2l: list[PointToPointSpec] = []
+    col_bcasts: list[CollectiveSpec] = []
+    row_bcasts: list[CollectiveSpec] = []
+    row_reduces: list[CollectiveSpec] = []
+    col_ureduces: list[CollectiveSpec] = []
+
+    for b in blocks:
+        i = b.snode
+        nb_panel = s * b.nrows * bytes_per_entry
+        l_owner = grid.rank(i % pr, kc)
+        u_owner = grid.rank(kr, i % pc)
+        cross_l2u.append(
+            PointToPointSpec(
+                kind="cross-l2u", key=("cl", k, i),
+                src=l_owner, dst=u_owner, nbytes=nb_panel,
+            )
+        )
+        cross_u2l.append(
+            PointToPointSpec(
+                kind="cross-u2l", key=("cu", k, i),
+                src=u_owner, dst=l_owner, nbytes=nb_panel,
+            )
+        )
+        col_bcasts.append(
+            CollectiveSpec(
+                kind="col-bcast", key=("cb", k, i), root=u_owner,
+                participants=tuple(
+                    sorted({u_owner} | {grid.rank(r, i % pc) for r in c_rows})
+                ),
+                nbytes=nb_panel,
+            )
+        )
+        row_bcasts.append(
+            CollectiveSpec(
+                kind="row-bcast", key=("rb", k, i), root=l_owner,
+                participants=tuple(
+                    sorted({l_owner} | {grid.rank(i % pr, c) for c in c_cols})
+                ),
+                nbytes=nb_panel,
+            )
+        )
+
+    for b in blocks:
+        j = b.snode
+        nb_panel = s * b.nrows * bytes_per_entry
+        l_dest = grid.rank(j % pr, kc)
+        row_reduces.append(
+            CollectiveSpec(
+                kind="row-reduce", key=("rr", k, j), root=l_dest,
+                participants=tuple(
+                    sorted({l_dest} | {grid.rank(j % pr, c) for c in c_cols})
+                ),
+                nbytes=nb_panel,
+            )
+        )
+        u_dest = grid.rank(kr, j % pc)
+        col_ureduces.append(
+            CollectiveSpec(
+                kind="col-ureduce", key=("cu2", k, j), root=u_dest,
+                participants=tuple(
+                    sorted({u_dest} | {grid.rank(r, j % pc) for r in c_rows})
+                ),
+                nbytes=nb_panel,
+            )
+        )
+
+    diag_rreduce = CollectiveSpec(
+        kind="diag-rreduce",
+        key=("dq", k),
+        root=diag_owner,
+        participants=tuple(
+            sorted({diag_owner} | {grid.rank(kr, c) for c in c_cols})
+        ),
+        nbytes=nb_diag,
+    )
+
+    return UnsymSupernodePlan(
+        k=k, width=s, blocks=blocks, diag_owner=diag_owner,
+        diag_bcast=diag_bcast, diag_rbcast=diag_rbcast,
+        cross_l2u=cross_l2u, cross_u2l=cross_u2l,
+        col_bcasts=col_bcasts, row_bcasts=row_bcasts,
+        row_reduces=row_reduces, col_ureduces=col_ureduces,
+        diag_rreduce=diag_rreduce,
+    )
+
+
+def iter_unsym_plans(
+    struct: SupernodalStructure,
+    grid: ProcessorGrid,
+    *,
+    bytes_per_entry: int = BYTES_PER_ENTRY,
+) -> Iterator[UnsymSupernodePlan]:
+    """Unsymmetric plans for every supernode, ascending index order."""
+    for k in range(struct.nsup):
+        yield unsym_supernode_plan(
+            struct, grid, k, bytes_per_entry=bytes_per_entry
+        )

@@ -1,0 +1,643 @@
+"""Simulated parallel selected inversion (PSelInv) -- paper §II-B / §III.
+
+Runs the asynchronous, message-driven PSelInv dataflow on the simulated
+machine, with every restricted collective routed along the configured
+tree scheme.  There are no barriers: exactly as in the paper,
+synchronization is imposed only through data dependencies, so supernodes
+on disjoint critical paths of the elimination tree pipeline freely.
+
+Dataflow per supernode ``K`` (symmetric algorithm, Fig. 2 of the paper):
+
+1.  *diag-bcast*  -- the diagonal-block owner broadcasts the packed LU of
+    ``A(K,K)`` down grid column ``K mod Pc`` (first loop of Algorithm 1);
+    each ``L(I,K)`` owner then normalizes its panel blocks:
+    ``Lhat(I,K) = L(I,K) inv(L_KK)``.
+2.  *cross-send* -- each ``Lhat(I,K)`` is sent to the owner of ``U(K,I)``
+    which overwrites it with ``Lhat^T`` (symmetric case).
+3.  *col-bcast*  -- ``Uhat(K,I)`` is broadcast down grid column
+    ``I mod Pc`` to the owners of the ``Ainv(J,I)`` blocks, ``J in C``.
+4.  *GEMM*       -- each such owner computes ``Ainv(J,I) Lhat(I,K)`` for
+    its local blocks once both the broadcast payload and the (previously
+    computed) ``Ainv(J,I)`` block are available.
+5.  *row-reduce* -- partial sums for row ``J`` are reduced across grid row
+    ``J mod Pr`` onto the owner of ``L(J,K)``, which negates to obtain
+    ``Ainv(J,K)``.
+6.  *col-reduce* -- diagonal contributions ``Lhat(J,K)^T Ainv(J,K)`` are
+    reduced down grid column ``K mod Pc``; the diagonal owner finishes
+    ``Ainv(K,K) = inv(U_KK) inv(L_KK) - sum``.
+7.  *cross-back* -- ``Ainv(J,K)^T`` is sent to the owner of ``U(K,J)`` to
+    populate the upper-triangle storage consumed by descendants.
+
+Two modes share all protocol code:
+
+* **numeric** (``factor`` given): payloads are real ndarrays; the final
+  distributed blocks are gathered into a
+  :class:`~repro.sparse.selinv.SelectedInverse` for oracle comparison.
+* **symbolic** (``factor=None``): payloads are ``None``; only sizes, flop
+  counts and the virtual clock matter.  This is the mode the large-scale
+  strong-scaling experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from ..comm.collectives import TreeBroadcast, TreeReduce
+from ..comm.trees import build_tree
+from ..simulate.machine import CommStats, Machine, Message
+from ..simulate.network import Network, NetworkConfig
+from ..sparse.factor import SupernodalFactor
+from ..sparse.selinv import SelectedInverse
+from ..sparse.supernodes import SupernodalStructure
+from .grid import ProcessorGrid
+from .plan import BYTES_PER_ENTRY, SupernodePlan, iter_plans
+from .volume import collective_seed
+
+__all__ = ["PSelInvResult", "SimulatedPSelInv", "run_pselinv"]
+
+
+@dataclass
+class PSelInvResult:
+    """Outcome of one simulated selected inversion."""
+
+    scheme: str
+    grid: ProcessorGrid
+    makespan: float
+    stats: CommStats
+    events: int
+    numeric: bool
+    # Mean over ranks of CPU-busy compute seconds and of everything else
+    # (communication + idle) -- the paper's Fig. 9 breakdown.
+    compute_time: float = 0.0
+    communication_time: float = 0.0
+    inverse: SelectedInverse | None = None
+
+
+class _SupernodeState:
+    """Mutable per-supernode bookkeeping (global in the simulation; every
+    field is only touched by handlers running 'on' its owning rank)."""
+
+    __slots__ = (
+        "plan",
+        "lhat",
+        "uhat",
+        "ainv_low",
+        "row_partial",
+        "gemms_left",
+        "diag_partial",
+        "diag_left",
+        "base",
+        "diag_value",
+        "norm_blocks",
+        "bcast_gemms",
+        "nrows",
+        "cross_nbytes",
+        "back_nbytes",
+    )
+
+    def __init__(self, plan: SupernodePlan):
+        self.plan = plan
+        self.lhat: dict[int, Any] = {}  # I -> Lhat(I,K) at owner of L(I,K)
+        self.uhat: dict[tuple[int, int], Any] = {}  # (I, rank) -> Uhat(K,I)
+        self.ainv_low: dict[int, Any] = {}  # J -> Ainv(J,K) at owner L(J,K)
+        self.row_partial: dict[tuple[int, int], Any] = {}  # (J, rank) -> sum
+        self.gemms_left: dict[tuple[int, int], int] = {}  # (J, rank) -> n
+        self.diag_partial: dict[int, Any] = {}  # rank -> partial (s, s)
+        self.diag_left: dict[int, int] = {}  # rank -> outstanding rows J
+        self.base: Any = None  # inv(U_KK) inv(L_KK) at the diagonal owner
+        self.diag_value: Any = None
+        # Dispatch tables built when the supernode enters the window:
+        # rank -> [BlockInfo] of the L(I,K) blocks normalized there, and
+        # (i, rank) -> [j, ...] local GEMM row-blocks per broadcast.
+        self.norm_blocks: dict[int, list] = {}
+        self.bcast_gemms: dict[tuple[int, int], list[int]] = {}
+        self.nrows: dict[int, int] = {b.snode: b.nrows for b in plan.blocks}
+        # Message sizes straight from the plan so simulator and analytic
+        # volume model can never disagree (incl. complex 16-byte entries).
+        self.cross_nbytes = {p.key[2]: p.nbytes for p in plan.cross_sends}
+        self.back_nbytes = {p.key[2]: p.nbytes for p in plan.cross_backs}
+
+
+class SimulatedPSelInv:
+    """One configured PSelInv simulation; call :meth:`run` once."""
+
+    def __init__(
+        self,
+        struct: SupernodalStructure,
+        grid: ProcessorGrid,
+        scheme: str = "shifted",
+        *,
+        factor: SupernodalFactor | None = None,
+        network: NetworkConfig | None = None,
+        seed: int = 0,
+        placement_seed: int | None = None,
+        jitter_seed: int = 0,
+        hybrid_threshold: int = 8,
+        per_message_cpu_overhead: float = 0.0,
+        lookahead: int | None = 32,
+        plans: list[SupernodePlan] | None = None,
+        tree_cache: dict | None = None,
+    ) -> None:
+        self.struct = struct
+        self.grid = grid
+        self.scheme = scheme
+        self.factor = factor
+        self.numeric = factor is not None
+        self.seed = seed
+        self.hybrid_threshold = hybrid_threshold
+        # Bounded supernode lookahead, as in the real PSelInv/PEXSI code:
+        # only this many supernodes may have their panel communication in
+        # flight at once (buffer memory and MPI-progress limits).  ``None``
+        # releases everything at t=0 (an idealized, infinitely-buffered
+        # runtime -- useful as an ablation).
+        self.lookahead = lookahead
+        # Extra software overhead charged per delivered message; used to
+        # model the less-optimized v0.7.3 code path.
+        self.extra_msg_overhead = per_message_cpu_overhead
+        net = Network(
+            grid.size,
+            network,
+            placement_seed=placement_seed,
+            jitter_seed=jitter_seed,
+        )
+        self.machine = Machine(grid.size, net)
+        if plans is not None:
+            self.plans = plans
+        else:
+            # Complex matrices (PEXSI pole shifts) move 16-byte entries.
+            bpe = BYTES_PER_ENTRY
+            if factor is not None and factor.LX and np.iscomplexobj(factor.LX[0]):
+                bpe = 2 * BYTES_PER_ENTRY
+            self.plans = list(iter_plans(struct, grid, bytes_per_entry=bpe))
+        self.states = [_SupernodeState(p) for p in self.plans]
+        self.collectives: dict[tuple, Any] = {}
+        # Readiness of Ainv blocks: (row_snode, col_snode) -> ready flag;
+        # waiters hold deferred GEMMs.
+        self.ainv_ready: set[tuple[int, int]] = set()
+        self.ainv_data: dict[tuple[int, int], Any] = {}
+        self.waiters: dict[tuple[int, int], list] = {}
+        self.done_diag = 0
+        self._ran = False
+        # Trees depend on (scheme, seed, grid, struct); callers sweeping
+        # over jitter/placement seeds may share a cache across runs with
+        # identical (scheme, seed, grid, struct).  A guard key catches
+        # accidental reuse across configurations.
+        self._tree_cache = tree_cache if tree_cache is not None else {}
+        guard = ("__config__", scheme, seed, grid.pr, grid.pc, struct.nsup)
+        prior = self._tree_cache.setdefault("__guard__", guard)
+        if prior != guard:
+            raise ValueError(
+                "tree_cache was built for a different configuration: "
+                f"{prior} vs {guard}"
+            )
+        for r in range(grid.size):
+            self.machine.set_handler(r, self._make_handler(r))
+
+    # -- setup ------------------------------------------------------------
+
+    def _tree(self, spec) -> Any:
+        key = spec.key
+        tree = self._tree_cache.get(key)
+        if tree is None:
+            tree = build_tree(
+                self.scheme,
+                spec.root,
+                spec.participants,
+                collective_seed(self.seed, key),
+                hybrid_threshold=self.hybrid_threshold,
+            )
+            self._tree_cache[key] = tree
+        return tree
+
+    def _build_collectives(self, plan: SupernodePlan) -> None:
+        """Instantiate supernode ``plan.k``'s collectives (window entry).
+
+        Lazy construction matters: a medium problem has O(10^5)
+        collectives, and building their trees up front would dominate the
+        run; it also mirrors the real code, which materializes its
+        communication trees as supernodes enter the lookahead window.
+        """
+        m = self.machine
+        st = self.states[plan.k]
+        k = plan.k
+        if plan.diag_bcast is not None:
+            spec = plan.diag_bcast
+            self.collectives[spec.key] = TreeBroadcast(
+                m,
+                self._tree(spec),
+                spec.key,
+                spec.nbytes,
+                spec.kind,
+                lambda rank, payload, k=k: self._on_diag_delivery(
+                    k, rank, payload
+                ),
+            )
+        for spec in plan.col_bcasts:
+            i = spec.key[2]
+            self.collectives[spec.key] = TreeBroadcast(
+                m,
+                self._tree(spec),
+                spec.key,
+                spec.nbytes,
+                spec.kind,
+                lambda rank, payload, k=k, i=i: self._on_colbcast_delivery(
+                    k, i, rank, payload
+                ),
+            )
+        pc = self.grid.pc
+        for spec in plan.row_reduces:
+            j = spec.key[2]
+            jrow = (j % self.grid.pr) * pc
+            contributors = {
+                jrow + (b.snode % pc) for b in plan.blocks
+            }
+            self.collectives[spec.key] = TreeReduce(
+                m,
+                self._tree(spec),
+                spec.key,
+                spec.nbytes,
+                spec.kind,
+                contributors,
+                lambda value, k=k, j=j: self._on_rowreduce_complete(
+                    k, j, value
+                ),
+            )
+        if plan.col_reduce is not None and plan.blocks:
+            spec = plan.col_reduce
+            kc = k % pc
+            contributors = {
+                (b.snode % self.grid.pr) * pc + kc for b in plan.blocks
+            }
+            self.collectives[spec.key] = TreeReduce(
+                m,
+                self._tree(spec),
+                spec.key,
+                spec.nbytes,
+                spec.kind,
+                contributors,
+                lambda value, k=k: self._on_colreduce_complete(k, value),
+            )
+
+    def _make_handler(self, rank: int):
+        def handler(msg: Message) -> None:
+            if self.extra_msg_overhead > 0.0:
+                self.machine.post_compute(rank, self.extra_msg_overhead)
+            key = msg.tag
+            kind = key[0]
+            if kind in ("db", "cb"):
+                self.collectives[key].on_message(msg)
+            elif kind in ("rr", "cr"):
+                self.collectives[key].on_message(msg)
+            elif kind == "cs":
+                self._on_cross_send(key[1], key[2], msg.payload)
+            elif kind == "xb":
+                self._on_cross_back(key[1], key[2], rank, msg.payload)
+            else:  # pragma: no cover - protocol safety net
+                raise RuntimeError(f"unknown message tag {key!r}")
+
+        return handler
+
+    # -- helpers ------------------------------------------------------------
+
+    def _block_rows(self, k: int, i: int) -> np.ndarray:
+        return self.struct.block_row_indices(k, i)
+
+    def _gemm_counts(self, plan: SupernodePlan) -> None:
+        """Build dispatch tables for supernode ``plan.k`` (on window entry)."""
+        st = self.states[plan.k]
+        pr, pc = self.grid.pr, self.grid.pc
+        k = plan.k
+        kc = k % pc
+        for bj in plan.blocks:
+            j = bj.snode
+            jrow = (j % pr) * pc
+            for bi in plan.blocks:
+                i = bi.snode
+                r = jrow + i % pc
+                key = (j, r)
+                st.gemms_left[key] = st.gemms_left.get(key, 0) + 1
+                st.bcast_gemms.setdefault((i, r), []).append(j)
+            dest = jrow + kc
+            st.diag_left[dest] = st.diag_left.get(dest, 0) + 1
+            lowner = (j % pr) * pc + kc
+            st.norm_blocks.setdefault(lowner, []).append(bj)
+
+    # -- phase 0: kickoff ------------------------------------------------------
+
+    def _kickoff(self) -> None:
+        # Supernodes are released in descending index order (the second
+        # loop of Algorithm 1), at most ``lookahead`` outstanding; every
+        # dependency of supernode K lives at an index > K, so the window
+        # can never deadlock.
+        self._release_order = list(range(self.struct.nsup - 1, -1, -1))
+        self._release_ptr = 0
+        window = self.lookahead if self.lookahead is not None else self.struct.nsup
+        self._outstanding = 0
+        self._window = max(1, int(window))
+        self._release_more()
+
+    def _release_more(self) -> None:
+        while (
+            self._release_ptr < len(self._release_order)
+            and self._outstanding < self._window
+        ):
+            k = self._release_order[self._release_ptr]
+            self._release_ptr += 1
+            self._outstanding += 1
+            self._start_supernode(k)
+
+    def _supernode_finished(self) -> None:
+        self.done_diag += 1
+        self._outstanding -= 1
+        self._release_more()
+
+    def _start_supernode(self, k: int) -> None:
+        st = self.states[k]
+        plan = st.plan
+        if not plan.blocks:
+            # A root supernode with empty structure: its inverse is
+            # just the inverted diagonal block, computed locally.
+            s = plan.width
+            payload = self.factor.diag_block(k) if self.numeric else None
+            self.machine.post_compute(
+                plan.diag_owner,
+                0.0,
+                lambda k=k, payload=payload: self._finish_lonely_diag(
+                    k, payload
+                ),
+                flops=s**3,
+            )
+            return
+        self._gemm_counts(plan)
+        self._build_collectives(plan)
+        spec = plan.diag_bcast
+        payload = self.factor.diag_block(k) if self.numeric else None
+        bc = self.collectives[spec.key]
+        # The broadcast starts as soon as the supernode enters the
+        # lookahead window (its factorization output already sits at the
+        # root; SuperLU timing is reported separately, as in the paper).
+        self.machine.sim.schedule(
+            0.0, lambda bc=bc, payload=payload: bc.start(payload)
+        )
+
+    def _finish_lonely_diag(self, k: int, payload: Any) -> None:
+        st = self.states[k]
+        if self.numeric:
+            s = self.struct.width(k)
+            ident = np.eye(s)
+            linv = solve_triangular(payload, ident, lower=True, unit_diagonal=True)
+            st.diag_value = solve_triangular(payload, linv, lower=False)
+        self._mark_ainv_ready((k, k), st.diag_value, self.grid.owner(k, k))
+        self._supernode_finished()
+
+    # -- phase 1: diagonal broadcast and panel normalization ---------------------
+
+    def _on_diag_delivery(self, k: int, rank: int, payload: Any) -> None:
+        st = self.states[k]
+        plan = st.plan
+        s = plan.width
+        pr, pc = self.grid.pr, self.grid.pc
+        kc = k % pc
+        if rank == plan.diag_owner:
+            # Compute the base term inv(U_KK) inv(L_KK) while panels move.
+            def fin_base(payload=payload):
+                if self.numeric:
+                    ident = np.eye(s)
+                    linv = solve_triangular(
+                        payload, ident, lower=True, unit_diagonal=True
+                    )
+                    st.base = solve_triangular(payload, linv, lower=False)
+                else:
+                    st.base = None
+
+            self.machine.post_compute(rank, 0.0, fin_base, flops=s**3)
+        # Normalize every local L(I,K) block owned by this rank.
+        for b in st.norm_blocks.get(rank, ()):
+            i = b.snode
+
+            def fin_norm(i=i, b=b, payload=payload, rank=rank):
+                if self.numeric:
+                    raw = self._raw_l_block(k, i)
+                    lhat = solve_triangular(
+                        payload, raw.T, lower=True, unit_diagonal=True, trans="T"
+                    ).T
+                else:
+                    lhat = None
+                st.lhat[i] = lhat
+                # Cross-send Lhat^T to the owner of U(K,I).
+                u_owner = self.grid.rank(k % pr, i % pc)
+                nbytes = st.cross_nbytes[i]
+                self.machine.post_send(
+                    rank,
+                    u_owner,
+                    ("cs", k, i),
+                    nbytes,
+                    "cross-send",
+                    lhat.T if self.numeric else None,
+                )
+
+            self.machine.post_compute(rank, 0.0, fin_norm, flops=s * s * b.nrows)
+
+    def _raw_l_block(self, k: int, i: int) -> np.ndarray:
+        """Slice the raw factor panel block L(I,K) (numeric mode)."""
+        rows = self.struct.rows_below[k]
+        lo = int(np.searchsorted(rows, self.struct.sn_ptr[i]))
+        hi = int(np.searchsorted(rows, self.struct.sn_ptr[i + 1]))
+        return self.factor.l_panel(k)[lo:hi, :]
+
+    # -- phase 2: cross send -> column broadcast ---------------------------------
+
+    def _on_cross_send(self, k: int, i: int, payload: Any) -> None:
+        bc = self.collectives.get(("cb", k, i))
+        if bc is None:  # pragma: no cover - plan always emits col-bcasts
+            raise RuntimeError(f"missing col-bcast ({k}, {i})")
+        bc.start(payload)
+
+    # -- phase 3: broadcast delivery -> local GEMMs -------------------------------
+
+    def _on_colbcast_delivery(self, k: int, i: int, rank: int, payload: Any) -> None:
+        st = self.states[k]
+        st.uhat[(i, rank)] = payload
+        ready = self.ainv_ready
+        for j in st.bcast_gemms.get((i, rank), ()):
+            if (j, i) in ready:
+                self._schedule_gemm(k, i, j, rank)
+            else:
+                self.waiters.setdefault((j, i), []).append((k, i, j, rank))
+
+    def _mark_ainv_ready(self, key: tuple[int, int], data: Any, owner: int) -> None:
+        self.ainv_ready.add(key)
+        self.ainv_data[key] = data
+        for (k, i, j, rank) in self.waiters.pop(key, []):
+            self._schedule_gemm(k, i, j, rank)
+
+    def _schedule_gemm(self, k: int, i: int, j: int, rank: int) -> None:
+        st = self.states[k]
+        s = st.plan.width
+        flops = 2.0 * st.nrows[i] * st.nrows[j] * s
+
+        def fin():
+            contrib = self._compute_gemm(k, i, j) if self.numeric else None
+            keyp = (j, rank)
+            if self.numeric:
+                cur = st.row_partial.get(keyp)
+                st.row_partial[keyp] = contrib if cur is None else cur + contrib
+            st.gemms_left[keyp] -= 1
+            if st.gemms_left[keyp] == 0:
+                red = self.collectives[("rr", k, j)]
+                red.contribute(rank, st.row_partial.pop(keyp, None))
+
+        self.machine.post_compute(rank, 0.0, fin, flops=flops)
+
+    def _compute_gemm(self, k: int, i: int, j: int) -> np.ndarray:
+        """Numeric contribution  Ainv(J,I)[needed rows, needed cols] @ Lhat(I,K)."""
+        struct = self.struct
+        rows_j = self._block_rows(k, j)  # needed rows of supernode J
+        rows_i = self._block_rows(k, i)  # needed rows (=cols here) of I
+        st = self.states[k]
+        uhat = st.uhat[(i, self.grid.rank(j % self.grid.pr, i % self.grid.pc))]
+        lhat_ik = uhat.T  # (r_i, s)
+        if j > i:
+            block = self.ainv_data[(j, i)]  # rows: block rows of (I->J)
+            host_rows = struct.block_row_indices(i, j)
+            posr = np.searchsorted(host_rows, rows_j)
+            posc = rows_i - struct.first_col(i)
+            sub = block[np.ix_(posr, posc)]
+        elif j == i:
+            block = self.ainv_data[(i, i)]  # (s_i, s_i) diagonal block
+            loc = rows_i - struct.first_col(i)
+            sub = block[np.ix_(loc, loc)]
+        else:
+            block = self.ainv_data[(j, i)]  # upper block: rows cols(J)
+            host_cols = struct.block_row_indices(j, i)
+            posr = rows_j - struct.first_col(j)
+            posc = np.searchsorted(host_cols, rows_i)
+            sub = block[np.ix_(posr, posc)]
+        return sub @ lhat_ik
+
+    # -- phase 4: row reduce completion -------------------------------------------
+
+    def _on_rowreduce_complete(self, k: int, j: int, value: Any) -> None:
+        st = self.states[k]
+        plan = st.plan
+        s = plan.width
+        pr, pc = self.grid.pr, self.grid.pc
+        dest = self.grid.rank(j % pr, k % pc)
+        rj = st.nrows[j]
+        ainv_jk = -value if self.numeric else None
+        st.ainv_low[j] = ainv_jk
+        self._mark_ainv_ready((j, k), ainv_jk, dest)
+        # Cross-back: populate the upper storage at the owner of U(K,J).
+        u_owner = self.grid.rank(k % pr, j % pc)
+        nbytes = st.back_nbytes[j]
+        self.machine.post_send(
+            dest,
+            u_owner,
+            ("xb", k, j),
+            nbytes,
+            "cross-back",
+            ainv_jk.T if self.numeric else None,
+        )
+
+        # Local diagonal contribution Lhat(J,K)^T @ Ainv(J,K).
+        def fin():
+            if self.numeric:
+                contrib = st.lhat[j].T @ ainv_jk
+                cur = st.diag_partial.get(dest)
+                st.diag_partial[dest] = contrib if cur is None else cur + contrib
+            st.diag_left[dest] -= 1
+            if st.diag_left[dest] == 0:
+                red = self.collectives[("cr", k)]
+                red.contribute(dest, st.diag_partial.pop(dest, None))
+
+        self.machine.post_compute(dest, 0.0, fin, flops=2.0 * s * rj * s)
+
+    def _on_cross_back(self, k: int, j: int, rank: int, payload: Any) -> None:
+        # Upper Ainv block (K, J): rows = cols(K), cols = block rows of J.
+        self._mark_ainv_ready((k, j), payload, rank)
+
+    # -- phase 5: column reduce completion ------------------------------------------
+
+    def _on_colreduce_complete(self, k: int, value: Any) -> None:
+        st = self.states[k]
+        plan = st.plan
+        s = plan.width
+
+        def fin():
+            if self.numeric:
+                st.diag_value = st.base - value
+            self._mark_ainv_ready((k, k), st.diag_value, plan.diag_owner)
+            self._supernode_finished()
+
+        self.machine.post_compute(plan.diag_owner, 0.0, fin, flops=float(s * s))
+
+    # -- driver ------------------------------------------------------------------
+
+    def run(self, max_events: int | None = None) -> PSelInvResult:
+        """Execute the simulation to completion and package the result."""
+        if self._ran:
+            raise RuntimeError("a SimulatedPSelInv instance runs only once")
+        self._ran = True
+        self._kickoff()
+        makespan = self.machine.run(max_events=max_events)
+        nsup = self.struct.nsup
+        if self.done_diag != nsup:
+            raise RuntimeError(
+                f"protocol stalled: {self.done_diag}/{nsup} supernodes finished"
+            )
+        stats = self.machine.stats
+        compute = float(stats.compute_busy.mean())
+        comm = float(makespan - stats.compute_busy.mean())
+        inverse = self._gather_inverse() if self.numeric else None
+        return PSelInvResult(
+            scheme=self.scheme,
+            grid=self.grid,
+            makespan=makespan,
+            stats=stats,
+            events=self.machine.sim.events_processed,
+            numeric=self.numeric,
+            compute_time=compute,
+            communication_time=comm,
+            inverse=inverse,
+        )
+
+    def _gather_inverse(self) -> SelectedInverse:
+        """Assemble the distributed numeric blocks into oracle layout."""
+        struct = self.struct
+        nsup = struct.nsup
+        diag: list[np.ndarray] = [None] * nsup  # type: ignore[list-item]
+        lpanel: list[np.ndarray] = [None] * nsup  # type: ignore[list-item]
+        upanel: list[np.ndarray] = [None] * nsup  # type: ignore[list-item]
+        for k in range(nsup):
+            st = self.states[k]
+            s = struct.width(k)
+            diag[k] = np.asarray(st.diag_value)
+            blocks = st.plan.blocks
+            if blocks:
+                lpanel[k] = np.concatenate(
+                    [st.ainv_low[b.snode] for b in blocks], axis=0
+                )
+                upanel[k] = np.concatenate(
+                    [np.asarray(self.ainv_data[(k, b.snode)]) for b in blocks],
+                    axis=1,
+                )
+            else:
+                lpanel[k] = np.zeros((0, s))
+                upanel[k] = np.zeros((s, 0))
+        return SelectedInverse(
+            struct=struct, diag=diag, lpanel=lpanel, upanel=upanel
+        )
+
+
+def run_pselinv(
+    struct: SupernodalStructure,
+    grid: ProcessorGrid,
+    scheme: str = "shifted",
+    **kwargs: Any,
+) -> PSelInvResult:
+    """Convenience wrapper: configure, run, and return the result."""
+    return SimulatedPSelInv(struct, grid, scheme, **kwargs).run()

@@ -1,0 +1,236 @@
+"""Analytic communication-volume model.
+
+Computes, without running the simulator, the exact per-rank byte counters
+of one selected inversion under a given tree scheme: for every collective
+in the communication plan, build the tree and charge ``nbytes`` per tree
+edge (sender side for broadcasts, receiver side for reductions, plus the
+mirror counters).  These are the quantities of the paper's Table I
+("volume sent during Col-Bcast"), Table II ("volume received during
+Row-Reduce"), the histograms of Fig. 4 and the heat maps of Figs. 5-7.
+
+The discrete-event simulator counts the same bytes by actually passing
+messages; ``tests/test_volume_vs_simulation.py`` asserts the two agree
+exactly, which pins the simulator's protocol against this spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..comm.trees import build_tree, derive_seed
+from ..sparse.supernodes import SupernodalStructure
+from .grid import ProcessorGrid
+from .plan import SupernodePlan, iter_plans
+
+__all__ = [
+    "VolumeReport",
+    "collective_seed",
+    "communication_volumes",
+    "count_distinct_communicators",
+    "volume_summary",
+]
+
+
+def count_distinct_communicators(
+    struct: SupernodalStructure,
+    grid: ProcessorGrid,
+    *,
+    plans: list[SupernodePlan] | None = None,
+) -> dict[str, int]:
+    """Count the distinct processor groups the restricted collectives use.
+
+    This is the paper's §III motivation: pre-creating one MPI
+    communicator per distinct participant set is infeasible (audikw_1 on
+    a 24x24 grid needs 20,061 of them against a Cray MPI limit of ~4,096).
+    Returns the number of distinct participant sets among column
+    broadcasts, row reductions, and overall, plus the total collective
+    count.
+    """
+    if plans is None:
+        plans = list(iter_plans(struct, grid))
+    col_groups: set[tuple[int, ...]] = set()
+    row_groups: set[tuple[int, ...]] = set()
+    total = 0
+    for plan in plans:
+        for spec in plan.collectives():
+            total += 1
+            if len(spec.participants) < 2:
+                continue
+            if spec.kind in ("col-bcast", "diag-bcast", "col-reduce"):
+                col_groups.add(spec.participants)
+            else:
+                row_groups.add(spec.participants)
+    return {
+        "distinct_column_groups": len(col_groups),
+        "distinct_row_groups": len(row_groups),
+        "distinct_total": len(col_groups | row_groups),
+        "collectives_total": total,
+    }
+
+
+def collective_seed(global_seed: int, key: tuple) -> int:
+    """Per-collective tree seed, shared by the analytic model and the
+    simulator so both build identical shifted trees."""
+    out: list[int] = []
+    for part in key:
+        if isinstance(part, str):
+            out.append(sum(ord(c) << (8 * n) for n, c in enumerate(part[:4])))
+        else:
+            out.append(int(part))
+    return derive_seed(global_seed, *out)
+
+
+@dataclass
+class VolumeReport:
+    """Per-rank sent/received byte counters split by collective kind."""
+
+    grid: ProcessorGrid
+    scheme: str
+    sent: dict[str, np.ndarray] = field(default_factory=dict)
+    received: dict[str, np.ndarray] = field(default_factory=dict)
+    # Per-rank message counts (same categories); the paper's §III argues
+    # the tree cuts the root's messages from p-1 to log p.
+    messages: dict[str, np.ndarray] = field(default_factory=dict)
+    # Maximum messages any single rank sends within ONE collective --
+    # the paper's "messages along the critical path" quantity.
+    max_degree: dict[str, int] = field(default_factory=dict)
+
+    def _zeros(self) -> np.ndarray:
+        return np.zeros(self.grid.size)
+
+    def sent_by(self, kind: str) -> np.ndarray:
+        return self.sent.get(kind, self._zeros())
+
+    def received_by(self, kind: str) -> np.ndarray:
+        return self.received.get(kind, self._zeros())
+
+    def total_sent(self) -> np.ndarray:
+        out = self._zeros()
+        for arr in self.sent.values():
+            out += arr
+        return out
+
+    def total_received(self) -> np.ndarray:
+        out = self._zeros()
+        for arr in self.received.values():
+            out += arr
+        return out
+
+    def col_bcast_sent(self) -> np.ndarray:
+        """The Table I quantity: bytes sent in *column-group broadcasts*.
+
+        This aggregates the panel broadcasts ("col-bcast") with the
+        diagonal-block broadcasts ("diag-bcast"), exactly as the paper's
+        Col-Bcast counter does -- both are broadcasts within a grid
+        column.  On square grids the diagonal-block roots sit at grid
+        coordinates ``(K mod P, K mod P)``, which is what produces the
+        hot grid diagonal of Fig. 5(a).
+        """
+        return self.sent_by("col-bcast") + self.sent_by("diag-bcast")
+
+    def row_reduce_received(self) -> np.ndarray:
+        """The Table II quantity: bytes received in row-group reductions."""
+        return self.received_by("row-reduce")
+
+    def heatmap(self, kind: str, direction: str = "sent") -> np.ndarray:
+        """(pr, pc) heat map of one counter (Figs. 5-7).
+
+        ``kind`` may be a single category or the aggregates
+        ``"col-bcast-total"`` (Table I / Fig. 5 definition) and
+        ``"row-reduce"``.
+        """
+        if kind == "col-bcast-total":
+            return self.grid.volume_heatmap(self.col_bcast_sent())
+        table = self.sent if direction == "sent" else self.received
+        return self.grid.volume_heatmap(table.get(kind, self._zeros()))
+
+
+def _charge(table: dict[str, np.ndarray], kind: str, size: int):
+    arr = table.get(kind)
+    if arr is None:
+        arr = np.zeros(size)
+        table[kind] = arr
+    return arr
+
+
+def communication_volumes(
+    struct: SupernodalStructure,
+    grid: ProcessorGrid,
+    scheme: str,
+    *,
+    seed: int = 0,
+    hybrid_threshold: int = 8,
+    include_cross: bool = True,
+    plans: list[SupernodePlan] | None = None,
+) -> VolumeReport:
+    """Exact per-rank communication volumes for one tree scheme.
+
+    ``seed`` is the preprocessing-step seed the shifted/permuted trees
+    derive their per-collective seeds from.  ``plans`` may be passed to
+    amortize plan construction across schemes, and may be either the
+    symmetric plans (:func:`repro.core.plan.iter_plans`) or the
+    unsymmetric ones (:func:`repro.core.plan_unsym.iter_unsym_plans`).
+    """
+    report = VolumeReport(grid=grid, scheme=scheme)
+    p = grid.size
+    if plans is None:
+        plans = list(iter_plans(struct, grid))
+    for plan in plans:
+        for spec in plan.collectives():
+            tree = build_tree(
+                scheme,
+                spec.root,
+                spec.participants,
+                collective_seed(seed, spec.key),
+                hybrid_threshold=hybrid_threshold,
+            )
+            sent = _charge(report.sent, spec.kind, p)
+            recv = _charge(report.received, spec.kind, p)
+            msgs = _charge(report.messages, spec.kind, p)
+            deg = report.max_degree.get(spec.kind, 0)
+            if spec.kind.endswith("bcast"):
+                # Data flows root -> leaves: each edge charged to the
+                # parent (sender) and the child (receiver).
+                for r in tree.ranks():
+                    nkids = tree.child_count(r)
+                    if nkids:
+                        sent[r] += spec.nbytes * nkids
+                        msgs[r] += nkids
+                        if nkids > deg:
+                            deg = nkids
+                    if r != tree.root:
+                        recv[r] += spec.nbytes
+            else:
+                # Reduction: each edge carries one partial result child ->
+                # parent.
+                for r in tree.ranks():
+                    nkids = tree.child_count(r)
+                    if nkids:
+                        recv[r] += spec.nbytes * nkids
+                        if nkids > deg:
+                            deg = nkids
+                    if r != tree.root:
+                        sent[r] += spec.nbytes
+                        msgs[r] += 1
+            report.max_degree[spec.kind] = deg
+        if include_cross:
+            for p2p in plan.point_to_points():
+                if p2p.src == p2p.dst:
+                    continue
+                _charge(report.sent, p2p.kind, p)[p2p.src] += p2p.nbytes
+                _charge(report.received, p2p.kind, p)[p2p.dst] += p2p.nbytes
+    return report
+
+
+def volume_summary(per_rank_bytes: np.ndarray) -> dict[str, float]:
+    """Min/max/median/std summary in MB -- the paper's table format."""
+    mb = np.asarray(per_rank_bytes) / 1e6
+    return {
+        "min": float(mb.min()),
+        "max": float(mb.max()),
+        "median": float(np.median(mb)),
+        "std": float(mb.std(ddof=0)),
+        "mean": float(mb.mean()),
+    }

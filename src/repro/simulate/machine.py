@@ -1,0 +1,266 @@
+"""Simulated message-passing machine: ranks, NICs, and delivery.
+
+Binds the :class:`~repro.simulate.engine.Simulator` clock to the
+:class:`~repro.simulate.network.Network` cost model and exposes the small
+asynchronous API the PSelInv layers program against:
+
+* :meth:`Machine.post_send` -- non-blocking tagged send.  The sender's NIC
+  is occupied for the injection time (messages queue FIFO behind each
+  other -- the flat-tree hot-spot mechanism), then the message transits
+  and is delivered to the receiver's handler, respecting per
+  ``(src, dst)`` channel FIFO order like MPI's non-overtaking rule.
+  Converging messages additionally serialize through the receiver's
+  NIC-in port (what a flat *reduce* root saturates).
+* :meth:`Machine.post_compute` -- enqueue a compute task on a rank's CPU;
+  tasks on one rank serialize (one core per rank, as in the paper's
+  flat-MPI runs).
+
+Every byte movement is tallied per rank *and per category* in
+:class:`CommStats`, which is what the Table I / Table II / heat-map
+benchmarks read out.
+
+Implementation note: this is the simulator's innermost loop (millions of
+messages per run), so per-rank clocks and counters are plain Python lists
+-- scalar indexing on ndarrays is several times slower.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from .engine import Simulator
+from .network import Network
+
+__all__ = ["Message", "CommStats", "Machine"]
+
+
+class Message:
+    """An in-flight message (payload is opaque to the machine)."""
+
+    __slots__ = ("src", "dst", "tag", "nbytes", "category", "payload")
+
+    def __init__(self, src, dst, tag, nbytes, category, payload=None):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.category = category
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.src}->{self.dst}, tag={self.tag!r}, "
+            f"{self.nbytes}B, {self.category})"
+        )
+
+
+class CommStats:
+    """Per-rank byte and time counters, split by message category."""
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = nranks
+        self._sent: dict[str, list[float]] = {}
+        self._received: dict[str, list[float]] = {}
+        self._messages_sent: dict[str, list[float]] = {}
+        self._compute_busy = [0.0] * nranks
+        self._recv_overhead_busy = [0.0] * nranks
+        self._nic_out_busy = [0.0] * nranks
+        self._nic_in_busy = [0.0] * nranks
+
+    # -- hot-path accumulators (lists, not ndarrays) -----------------------
+
+    def _get(self, table: dict[str, list[float]], category: str) -> list[float]:
+        arr = table.get(category)
+        if arr is None:
+            arr = [0.0] * self.nranks
+            table[category] = arr
+        return arr
+
+    def on_send(self, msg: Message) -> None:
+        self._get(self._sent, msg.category)[msg.src] += msg.nbytes
+        self._get(self._messages_sent, msg.category)[msg.src] += 1
+
+    def on_receive(self, msg: Message) -> None:
+        self._get(self._received, msg.category)[msg.dst] += msg.nbytes
+
+    # -- read-out views ------------------------------------------------------
+
+    @property
+    def sent(self) -> dict[str, np.ndarray]:
+        return {k: np.asarray(v) for k, v in self._sent.items()}
+
+    @property
+    def received(self) -> dict[str, np.ndarray]:
+        return {k: np.asarray(v) for k, v in self._received.items()}
+
+    @property
+    def messages_sent(self) -> dict[str, np.ndarray]:
+        return {k: np.asarray(v) for k, v in self._messages_sent.items()}
+
+    @property
+    def compute_busy(self) -> np.ndarray:
+        return np.asarray(self._compute_busy)
+
+    @property
+    def recv_overhead_busy(self) -> np.ndarray:
+        return np.asarray(self._recv_overhead_busy)
+
+    @property
+    def nic_out_busy(self) -> np.ndarray:
+        return np.asarray(self._nic_out_busy)
+
+    @property
+    def nic_in_busy(self) -> np.ndarray:
+        return np.asarray(self._nic_in_busy)
+
+    def total_sent(self, category: str | None = None) -> np.ndarray:
+        """Bytes sent per rank (one category, or all summed)."""
+        if category is not None:
+            return np.asarray(self._sent.get(category, [0.0] * self.nranks))
+        out = np.zeros(self.nranks)
+        for arr in self._sent.values():
+            out += arr
+        return out
+
+    def total_received(self, category: str | None = None) -> np.ndarray:
+        """Bytes received per rank (one category, or all summed)."""
+        if category is not None:
+            return np.asarray(self._received.get(category, [0.0] * self.nranks))
+        out = np.zeros(self.nranks)
+        for arr in self._received.values():
+            out += arr
+        return out
+
+
+class Machine:
+    """The simulated distributed-memory machine."""
+
+    def __init__(self, nranks: int, network: Network, sim: Simulator | None = None):
+        if network.nranks < nranks:
+            raise ValueError("network sized for fewer ranks than requested")
+        self.nranks = nranks
+        self.network = network
+        self.sim = sim or Simulator()
+        self.stats = CommStats(nranks)
+        # Resource availability clocks (plain lists -- hot path).
+        self._nic_free = [0.0] * nranks  # outgoing (injection) port
+        self._nic_in_free = [0.0] * nranks  # incoming (ejection) port
+        self._cpu_free = [0.0] * nranks
+        # FIFO channel clocks: last delivery time per (src, dst).
+        self._channel_last: dict[tuple[int, int], float] = {}
+        # Message handler per rank: fn(msg) -> None.
+        self._handlers: list[Callable[[Message], None] | None] = [None] * nranks
+
+    # -- wiring --------------------------------------------------------------
+
+    def set_handler(self, rank: int, fn: Callable[[Message], None]) -> None:
+        """Install the message handler for ``rank``."""
+        self._handlers[rank] = fn
+
+    # -- time accessors --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def cpu_busy_until(self, rank: int) -> float:
+        return self._cpu_free[rank]
+
+    # -- communication ---------------------------------------------------------
+
+    def post_send(
+        self,
+        src: int,
+        dst: int,
+        tag: Any,
+        nbytes: int,
+        category: str,
+        payload: Any = None,
+    ) -> None:
+        """Non-blocking send; delivery invokes the receiver's handler.
+
+        Self-sends short-circuit through the handler with zero network
+        cost (a rank "sending to itself" is just a local hand-off, and the
+        paper's per-rank volume counters only see real messages).
+        """
+        msg = Message(src, dst, tag, int(nbytes), category, payload)
+        sim = self.sim
+        if src == dst:
+            sim.schedule_at(sim.now, lambda: self._deliver(msg))
+            return
+        self.stats.on_send(msg)
+        net = self.network
+        inj = net.injection_time(msg.nbytes)
+        now = sim.now
+        nic = self._nic_free[src]
+        start = nic if nic > now else now
+        finish = start + inj
+        self._nic_free[src] = finish
+        self.stats._nic_out_busy[src] += inj
+        arrival = finish + net.transit_time(src, dst, msg.nbytes)
+        # Enforce MPI-style non-overtaking per (src, dst) channel.
+        key = (src, dst)
+        last = self._channel_last.get(key, 0.0)
+        if arrival < last:
+            arrival = last
+        self._channel_last[key] = arrival
+        sim.schedule_at(arrival, lambda: self._receive(msg))
+
+    def _receive(self, msg: Message) -> None:
+        self.stats.on_receive(msg)
+        dst = msg.dst
+        now = self.sim.now
+        # Ejection: converging messages serialize through the receiver's
+        # NIC-in port (a flat reduce root pays p-1 of these back to back).
+        eject = self.network.ejection_time(msg.nbytes)
+        nic = self._nic_in_free[dst]
+        nic_start = nic if nic > now else now
+        nic_done = nic_start + eject
+        self._nic_in_free[dst] = nic_done
+        self.stats._nic_in_busy[dst] += eject
+        # Then receive-side software overhead occupies the receiver's CPU.
+        oh = self.network.config.receive_overhead
+        cpu = self._cpu_free[dst]
+        start = cpu if cpu > nic_done else nic_done
+        self._cpu_free[dst] = start + oh
+        self.stats._recv_overhead_busy[dst] += oh
+        self.sim.schedule_at(start + oh, lambda: self._deliver(msg))
+
+    def _deliver(self, msg: Message) -> None:
+        fn = self._handlers[msg.dst]
+        if fn is None:
+            raise RuntimeError(f"no handler installed on rank {msg.dst}")
+        fn(msg)
+
+    # -- computation -------------------------------------------------------------
+
+    def post_compute(
+        self,
+        rank: int,
+        seconds: float,
+        fn: Callable[[], None] | None = None,
+        *,
+        flops: float | None = None,
+    ) -> None:
+        """Occupy ``rank``'s CPU for ``seconds`` (or a flop count), then
+        run ``fn`` at completion."""
+        if flops is not None:
+            seconds = self.network.compute_time(flops)
+        if seconds < 0:
+            raise ValueError("negative compute time")
+        now = self.sim.now
+        cpu = self._cpu_free[rank]
+        start = cpu if cpu > now else now
+        finish = start + seconds
+        self._cpu_free[rank] = finish
+        self.stats._compute_busy[rank] += seconds
+        if fn is not None:
+            self.sim.schedule_at(finish, fn)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def run(self, max_events: int | None = None) -> float:
+        """Drain all events; returns the makespan (final virtual time)."""
+        return self.sim.run(max_events=max_events)

@@ -1,0 +1,156 @@
+"""Hierarchical network model of an Edison-like distributed machine.
+
+The paper's platform (NERSC Edison, Cray XC30, Aries dragonfly) shows up in
+its analysis through three mechanisms, all modelled here:
+
+1. **Injection serialization** -- a rank's outgoing messages share one NIC,
+   so a flat-tree root that must push ``p - 1`` messages pays for them
+   back-to-back.  This is the "instantaneous hot spot" of section III.
+2. **Hierarchical locality** -- ranks on the same node communicate through
+   shared memory (low latency, high bandwidth); ranks in the same
+   electrical group are closer than ranks across groups.  MPI places
+   consecutive ranks on the same node first, which is why the binary
+   tree's "split the sorted rank list" heuristic keeps traffic local.
+3. **Inhomogeneity / placement variability** -- different job placements
+   and shared routers make nominally identical runs differ.  We model it
+   as a seeded log-normal multiplier per node pair plus an optional random
+   node placement, which is exactly the paper's explanation of its error
+   bars (Fig. 8).
+
+Default constants are loosely calibrated to Edison-class hardware
+(microsecond latencies, GB/s links) but are knobs, not measurements; the
+reproduction targets curve *shapes*, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NetworkConfig", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Tunable parameters of the machine model (times in seconds, bytes)."""
+
+    cores_per_node: int = 24
+    nodes_per_group: int = 64
+    # Point-to-point latency by distance class.
+    latency_intra_node: float = 6.0e-7
+    latency_intra_group: float = 1.8e-6
+    latency_inter_group: float = 3.0e-6
+    # Per-byte transfer cost (1 / bandwidth) by distance class.  These are
+    # effective per-flow MPI bandwidths (well below link rates, as on any
+    # loaded dragonfly), not hardware peaks.
+    bw_intra_node: float = 6.0e9
+    bw_intra_group: float = 2.2e9
+    bw_inter_group: float = 1.6e9
+    # NIC injection: per-message overhead + per-byte serialization at the
+    # sender.  This is the resource a flat-tree root saturates.
+    injection_overhead: float = 1.0e-6
+    injection_bandwidth: float = 2.5e9
+    # NIC ejection: per-byte serialization at the receiver.  This is what
+    # a flat *reduce* root saturates when p-1 contributions converge.
+    ejection_bandwidth: float = 2.5e9
+    # Receive-side per-message CPU overhead (matching + copy start).
+    receive_overhead: float = 8.0e-7
+    # Log-normal jitter sigma applied per node pair (0 = homogeneous net).
+    jitter_sigma: float = 0.0
+    # Compute rate per rank, flops/second (BLAS3 on small supernodal
+    # blocks on one Ivy Bridge core-ish).
+    flop_rate: float = 8.0e9
+    # Fixed per-task dispatch overhead (scheduling, pointer chasing).
+    task_overhead: float = 5.0e-7
+
+
+class Network:
+    """Distance, transfer-time, and jitter queries for a set of ranks.
+
+    ``placement_seed`` shuffles the rank -> node assignment at node
+    granularity (None keeps the linear MPI-like placement);
+    ``jitter_seed`` draws the per-node-pair multipliers.  Jitter factors
+    are memoized lazily so huge rank counts stay cheap.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        config: NetworkConfig | None = None,
+        *,
+        placement_seed: int | None = None,
+        jitter_seed: int = 0,
+    ) -> None:
+        self.nranks = nranks
+        self.config = config or NetworkConfig()
+        cfg = self.config
+        nnodes = (nranks + cfg.cores_per_node - 1) // cfg.cores_per_node
+        self.nnodes = nnodes
+        node_ids = np.arange(nnodes)
+        if placement_seed is not None:
+            rng = np.random.default_rng(placement_seed)
+            node_ids = rng.permutation(node_ids)
+        # node_of[r]: the physical node hosting rank r.
+        node_of = node_ids[np.arange(nranks) // cfg.cores_per_node]
+        self.node_of = node_of
+        self.group_of = node_of // cfg.nodes_per_group
+        # Hot-path copies as plain lists (scalar ndarray indexing is slow).
+        self._node_list = node_of.tolist()
+        self._group_list = self.group_of.tolist()
+        self._jitter_rng = np.random.default_rng(jitter_seed)
+        self._jitter_seed = jitter_seed
+        self._jitter: dict[tuple[int, int], float] = {}
+
+    # -- queries ------------------------------------------------------------
+
+    def distance_class(self, src: int, dst: int) -> int:
+        """0 = same node, 1 = same group, 2 = across groups."""
+        if self._node_list[src] == self._node_list[dst]:
+            return 0
+        if self._group_list[src] == self._group_list[dst]:
+            return 1
+        return 2
+
+    def _pair_jitter(self, src: int, dst: int) -> float:
+        if self.config.jitter_sigma <= 0:
+            return 1.0
+        a, b = self._node_list[src], self._node_list[dst]
+        if a == b:
+            return 1.0  # shared memory does not jitter
+        key = (a, b) if a < b else (b, a)
+        j = self._jitter.get(key)
+        if j is None:
+            # Derive deterministically from the pair so lookup order does
+            # not change the draw.
+            rng = np.random.default_rng(
+                (self._jitter_seed * 1_000_003 + key[0] * 1009 + key[1]) & 0x7FFFFFFF
+            )
+            j = float(rng.lognormal(mean=0.0, sigma=self.config.jitter_sigma))
+            self._jitter[key] = j
+        return j
+
+    def injection_time(self, nbytes: int) -> float:
+        """Sender NIC occupancy for one message."""
+        cfg = self.config
+        return cfg.injection_overhead + nbytes / cfg.injection_bandwidth
+
+    def ejection_time(self, nbytes: int) -> float:
+        """Receiver NIC occupancy for one message."""
+        return nbytes / self.config.ejection_bandwidth
+
+    def transit_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Wire time after injection: latency + size / bandwidth, jittered."""
+        cfg = self.config
+        d = self.distance_class(src, dst)
+        if d == 0:
+            lat, bw = cfg.latency_intra_node, cfg.bw_intra_node
+        elif d == 1:
+            lat, bw = cfg.latency_intra_group, cfg.bw_intra_group
+        else:
+            lat, bw = cfg.latency_inter_group, cfg.bw_inter_group
+        return (lat + nbytes / bw) * self._pair_jitter(src, dst)
+
+    def compute_time(self, flops: float) -> float:
+        """CPU time for a compute task of the given flop count."""
+        return self.config.task_overhead + flops / self.config.flop_rate

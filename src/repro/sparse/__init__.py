@@ -1,0 +1,61 @@
+"""Sparse factorization substrate for the PSelInv reproduction.
+
+Everything PSelInv needs from "a SuperLU_DIST-like pipeline", implemented
+from scratch: sparse CSC containers, fill-reducing orderings, elimination
+trees, symbolic factorization, supernode detection, supernodal LU, and
+the sequential selected-inversion oracle (Algorithm 1 of the paper).
+"""
+
+from .driver import AnalyzedProblem, analyze, selinv_sequential
+from .etree import elimination_tree, postorder
+from .factor import SupernodalFactor, ZeroPivotError, factorize
+from .io import read_matrix_market, write_matrix_market
+from .matrix import (
+    SparseMatrix,
+    from_coo,
+    from_dense,
+    permute_symmetric,
+    symmetrize_pattern,
+)
+from .ordering import (
+    minimum_degree,
+    natural_order,
+    nested_dissection,
+    reverse_cuthill_mckee,
+)
+from .selinv import SelectedInverse, normalize, selected_inversion
+from .solve import solve, solve_factored
+from .supernodes import SupernodalStructure, supernodal_structure
+from .symbolic import column_counts, column_structures, fill_statistics
+
+__all__ = [
+    "AnalyzedProblem",
+    "SelectedInverse",
+    "SparseMatrix",
+    "SupernodalFactor",
+    "SupernodalStructure",
+    "ZeroPivotError",
+    "analyze",
+    "column_counts",
+    "column_structures",
+    "elimination_tree",
+    "factorize",
+    "fill_statistics",
+    "from_coo",
+    "from_dense",
+    "minimum_degree",
+    "natural_order",
+    "nested_dissection",
+    "normalize",
+    "permute_symmetric",
+    "postorder",
+    "read_matrix_market",
+    "reverse_cuthill_mckee",
+    "selected_inversion",
+    "selinv_sequential",
+    "solve",
+    "solve_factored",
+    "supernodal_structure",
+    "symmetrize_pattern",
+    "write_matrix_market",
+]

@@ -1,0 +1,140 @@
+"""Elimination trees (Liu 1990).
+
+The elimination tree is the central structural object of sparse
+factorization: ``parent[j]`` is the row index of the first subdiagonal
+nonzero of column ``j`` of the Cholesky/LU factor.  PSelInv's concurrency
+(section II-B of the paper) is exactly the tree's branch structure -- two
+supernodes can be processed simultaneously when they lie in disjoint
+subtrees -- so everything downstream (symbolic factorization, supernodes,
+the task pipeline) consumes the tree built here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .matrix import SparseMatrix
+
+__all__ = [
+    "elimination_tree",
+    "postorder",
+    "subtree_sizes",
+    "tree_levels",
+    "is_postordered",
+    "children_lists",
+]
+
+
+def elimination_tree(a: SparseMatrix) -> np.ndarray:
+    """Elimination tree of a structurally symmetric matrix pattern.
+
+    Uses Liu's algorithm with path compression (virtual ancestors) --
+    ``O(nnz * alpha(n))``.  Only the lower-triangular pattern is inspected.
+    Returns ``parent`` with ``parent[root] = -1`` (a forest if the graph is
+    disconnected).
+    """
+    n = a.n
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        for i in a.column_rows(j):
+            i = int(i)
+            if i >= j:
+                continue  # only strictly-upper entries i < j drive the tree
+            # Follow the path from i to the root of its current virtual
+            # tree, compressing as we go, and hang it under j.
+            while True:
+                anc = ancestor[i]
+                ancestor[i] = j
+                if anc == -1:
+                    if parent[i] == -1:
+                        parent[i] = j
+                    break
+                if anc == j:
+                    break
+                i = int(anc)
+    return parent
+
+
+def children_lists(parent: np.ndarray) -> list[list[int]]:
+    """Children of each node (and of the virtual root via ``parent==-1``)."""
+    n = len(parent)
+    kids: list[list[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        p = parent[v]
+        if p >= 0:
+            kids[int(p)].append(v)
+    return kids
+
+
+def postorder(parent: np.ndarray) -> np.ndarray:
+    """A postordering of the (forest-shaped) elimination tree.
+
+    Returns ``post`` with ``post[k] = old`` -- i.e. the node visited at
+    postorder position ``k``.  Children are visited in increasing node
+    order, which makes the postorder stable and deterministic.
+    """
+    n = len(parent)
+    kids = children_lists(parent)
+    roots = [v for v in range(n) if parent[v] == -1]
+    post = np.empty(n, dtype=np.int64)
+    k = 0
+    for root in roots:
+        # Iterative DFS; push children reversed so they pop in order.
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                post[k] = node
+                k += 1
+            else:
+                stack.append((node, True))
+                for c in reversed(kids[node]):
+                    stack.append((c, False))
+    if k != n:
+        raise AssertionError("postorder did not visit every node")
+    return post
+
+
+def is_postordered(parent: np.ndarray) -> bool:
+    """True if every node's index is smaller than its parent's.
+
+    A matrix whose elimination tree satisfies this is said to be in
+    topological (postorder-compatible) order; supernode detection assumes
+    it.
+    """
+    for v in range(len(parent)):
+        p = parent[v]
+        if p >= 0 and p <= v:
+            return False
+    return True
+
+
+def subtree_sizes(parent: np.ndarray) -> np.ndarray:
+    """Number of nodes in the subtree rooted at each node (inclusive).
+
+    Requires a topologically ordered tree (``parent[v] > v``).
+    """
+    n = len(parent)
+    size = np.ones(n, dtype=np.int64)
+    for v in range(n):
+        p = parent[v]
+        if p >= 0:
+            if p <= v:
+                raise ValueError("tree is not topologically ordered")
+            size[p] += size[v]
+    return size
+
+
+def tree_levels(parent: np.ndarray) -> np.ndarray:
+    """Depth of each node (roots at level 0).
+
+    Requires a topologically ordered tree; computed root-down in one pass.
+    """
+    n = len(parent)
+    level = np.zeros(n, dtype=np.int64)
+    for v in range(n - 1, -1, -1):
+        p = parent[v]
+        if p >= 0:
+            level[v] = level[p] + 1
+    return level

@@ -1,0 +1,121 @@
+"""Matrix Market I/O.
+
+The paper's matrices come from the University of Florida (SuiteSparse)
+collection, distributed in Matrix Market format.  A downstream user with
+network access can drop the real ``audikw_1.mtx`` next to this package
+and run every experiment on it; these readers/writers are dependency-free
+implementations of the coordinate format (the only one the collection
+uses for sparse matrices).
+
+Supported qualifiers: ``real`` / ``integer`` / ``complex`` /
+``pattern`` fields and ``general`` / ``symmetric`` / ``skew-symmetric``
+symmetries (Hermitian is read with conjugate expansion).
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO
+
+import numpy as np
+
+from .matrix import SparseMatrix, from_coo
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+
+def _open(path: str | Path, mode: str) -> IO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_matrix_market(path: str | Path) -> SparseMatrix:
+    """Read a sparse square matrix from a Matrix Market file (.mtx[.gz])."""
+    with _open(path, "r") as fh:
+        header = fh.readline().strip().split()
+        if (
+            len(header) < 5
+            or header[0] != "%%MatrixMarket"
+            or header[1].lower() != "matrix"
+            or header[2].lower() != "coordinate"
+        ):
+            raise ValueError(
+                "expected a '%%MatrixMarket matrix coordinate ...' header"
+            )
+        field = header[3].lower()
+        symmetry = header[4].lower()
+        if field not in ("real", "integer", "complex", "pattern"):
+            raise ValueError(f"unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric", "hermitian"):
+            raise ValueError(f"unsupported symmetry {symmetry!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError("malformed size line")
+        nrows, ncols, nnz = (int(x) for x in parts)
+        if nrows != ncols:
+            raise ValueError(
+                f"matrix must be square, got {nrows}x{ncols}"
+            )
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        complex_vals = field == "complex"
+        vals = np.empty(nnz, dtype=complex if complex_vals else float)
+        k = 0
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            toks = line.split()
+            rows[k] = int(toks[0]) - 1
+            cols[k] = int(toks[1]) - 1
+            if field == "pattern":
+                vals[k] = 1.0
+            elif complex_vals:
+                vals[k] = float(toks[2]) + 1j * float(toks[3])
+            else:
+                vals[k] = float(toks[2])
+            k += 1
+        if k != nnz:
+            raise ValueError(f"expected {nnz} entries, found {k}")
+
+    if symmetry != "general":
+        off = rows != cols
+        r2, c2, v2 = cols[off], rows[off], vals[off]
+        if symmetry == "skew-symmetric":
+            v2 = -v2
+        elif symmetry == "hermitian":
+            v2 = np.conj(v2)
+        rows = np.concatenate([rows, r2])
+        cols = np.concatenate([cols, c2])
+        vals = np.concatenate([vals, v2])
+    return from_coo(nrows, rows, cols, vals)
+
+
+def write_matrix_market(
+    path: str | Path,
+    matrix: SparseMatrix,
+    *,
+    comment: str | None = None,
+) -> None:
+    """Write a :class:`SparseMatrix` in 'general' coordinate format."""
+    complex_vals = np.iscomplexobj(matrix.data)
+    field = "complex" if complex_vals else "real"
+    with _open(path, "w") as fh:
+        fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{matrix.n} {matrix.n} {matrix.nnz}\n")
+        for j in range(matrix.n):
+            rows, vals = matrix.column(j)
+            for r, v in zip(rows, vals):
+                if complex_vals:
+                    fh.write(f"{r + 1} {j + 1} {v.real:.17g} {v.imag:.17g}\n")
+                else:
+                    fh.write(f"{r + 1} {j + 1} {v:.17g}\n")

@@ -1,0 +1,221 @@
+"""Sequential selected inversion (Algorithm 1 of the paper).
+
+Given a supernodal LU factorization ``A = L U``, computes the *selected*
+elements of ``A^{-1}`` -- every entry ``(i, j)`` inside the (possibly
+padded) supernodal structure of ``L + U``.  This is the single-process
+oracle: the simulated parallel PSelInv in :mod:`repro.core.pselinv` must
+reproduce its output block for block, and the tests enforce that.
+
+Two passes, exactly as in the paper:
+
+1. :func:`normalize` (the first loop of Algorithm 1) overwrites the raw
+   panels with ``Lhat(C,K) = L(C,K) inv(L_KK)`` and
+   ``Uhat(K,C) = inv(U_KK) U(K,C)``.
+2. :func:`selected_inversion` walks supernodes from last to first::
+
+       Ainv(C,K) = -Ainv(C,C) Lhat(C,K)
+       Ainv(K,K) = inv(U_KK) inv(L_KK) - Uhat(K,C) Ainv(C,K)
+       Ainv(K,C) = -Uhat(K,C) Ainv(C,C)
+
+   where the dense ``Ainv(C,C)`` gather is well defined thanks to the
+   chain-closure invariant of the symbolic structure (see
+   :meth:`repro.sparse.supernodes.SupernodalStructure.validate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from .factor import SupernodalFactor
+from .supernodes import SupernodalStructure
+
+__all__ = ["normalize", "SelectedInverse", "selected_inversion", "gather_ainv_cc"]
+
+
+def normalize(factor: SupernodalFactor) -> None:
+    """First loop of Algorithm 1: overwrite panels with Lhat / Uhat.
+
+    Must be called exactly once after
+    :func:`repro.sparse.factor.factorize`; a second call raises.
+    """
+    if factor.normalized:
+        raise ValueError("factor is already normalized")
+    factor.normalized = True
+    struct = factor.struct
+    for k in range(struct.nsup):
+        m = len(struct.rows_below[k])
+        if m == 0:
+            continue
+        d = factor.diag_block(k)
+        lp = factor.l_panel(k)
+        up = factor.u_panel(k)
+        # Lhat = L(C,K) inv(L_KK):  solve X L = B via L^T X^T = B^T.
+        lp[:] = solve_triangular(
+            d, lp.T, lower=True, unit_diagonal=True, trans="T"
+        ).T
+        # Uhat = inv(U_KK) U(K,C): plain upper triangular solve.
+        up[:] = solve_triangular(d, up, lower=False, trans="N")
+
+
+@dataclass
+class SelectedInverse:
+    """Selected elements of ``A^{-1}`` in the factor's block layout.
+
+    ``diag[K]`` is the dense ``(s, s)`` block ``Ainv(K, K)``;
+    ``lpanel[K]`` is ``Ainv(rows_below(K), K)``; ``upanel[K]`` is
+    ``Ainv(K, rows_below(K))``.
+    """
+
+    struct: SupernodalStructure
+    diag: list[np.ndarray]
+    lpanel: list[np.ndarray]
+    upanel: list[np.ndarray]
+
+    def entry(self, i: int, j: int) -> complex:
+        """Value of ``A^{-1}[i, j]``; raises ``KeyError`` outside the
+        stored structure."""
+        struct = self.struct
+        kj = int(struct.snode_of[j])
+        fcj = struct.first_col(kj)
+        if struct.snode_of[i] == kj:
+            return self.diag[kj][i - struct.first_col(kj), j - fcj]
+        if i > j:
+            rows = struct.rows_below[kj]
+            p = int(np.searchsorted(rows, i))
+            if p < len(rows) and rows[p] == i:
+                return self.lpanel[kj][p, j - fcj]
+            raise KeyError((i, j))
+        ki = int(struct.snode_of[i])
+        cols = struct.rows_below[ki]
+        p = int(np.searchsorted(cols, j))
+        if p < len(cols) and cols[p] == j:
+            return self.upanel[ki][i - struct.first_col(ki), p]
+        raise KeyError((i, j))
+
+    def stored_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """All stored (row, col) positions, suitable for oracle checks."""
+        rr: list[np.ndarray] = []
+        cc: list[np.ndarray] = []
+        struct = self.struct
+        for k in range(struct.nsup):
+            fc = struct.first_col(k)
+            s = struct.width(k)
+            cols = np.arange(fc, fc + s)
+            rows = struct.rows_below[k]
+            # Diagonal block.
+            gr, gc = np.meshgrid(cols, cols, indexing="ij")
+            rr.append(gr.ravel())
+            cc.append(gc.ravel())
+            if len(rows):
+                gr, gc = np.meshgrid(rows, cols, indexing="ij")
+                rr.append(gr.ravel())
+                cc.append(gc.ravel())
+                gr, gc = np.meshgrid(cols, rows, indexing="ij")
+                rr.append(gr.ravel())
+                cc.append(gc.ravel())
+        return np.concatenate(rr), np.concatenate(cc)
+
+    def to_dense_at_structure(self) -> np.ndarray:
+        """Dense array with stored entries filled in, zeros elsewhere."""
+        n = self.struct.n
+        dt = self.diag[0].dtype if self.diag else np.float64
+        out = np.zeros((n, n), dtype=dt)
+        struct = self.struct
+        for k in range(struct.nsup):
+            fc = struct.first_col(k)
+            s = struct.width(k)
+            rows = struct.rows_below[k]
+            out[fc : fc + s, fc : fc + s] = self.diag[k]
+            if len(rows):
+                out[np.ix_(rows, range(fc, fc + s))] = self.lpanel[k]
+                out[np.ix_(range(fc, fc + s), rows)] = self.upanel[k]
+        return out
+
+
+def gather_ainv_cc(
+    inv: SelectedInverse, rows: np.ndarray
+) -> np.ndarray:
+    """Gather the dense ``Ainv(rows, rows)`` matrix from block storage.
+
+    ``rows`` must be the ``rows_below`` set of some supernode (sorted,
+    all strictly greater than the supernode's last column), so that by
+    chain closure every requested entry is stored.
+    """
+    struct = inv.struct
+    m = len(rows)
+    # Infer the dtype from an already-computed ancestor block (rows are
+    # ancestors of the requesting supernode, so their diagonal blocks are
+    # final); diag[0] may still be an uninitialized placeholder.
+    dt = inv.diag[int(struct.snode_of[rows[0]])].dtype if m else np.float64
+    g = np.empty((m, m), dtype=dt)
+    sn = struct.snode_of[rows]
+    groups, starts = np.unique(sn, return_index=True)
+    bounds = list(starts) + [m]
+    for t, jsn in enumerate(groups):
+        jsn = int(jsn)
+        j0, j1 = int(bounds[t]), int(bounds[t + 1])
+        fcj = struct.first_col(jsn)
+        cols_local = rows[j0:j1] - fcj
+        below = struct.rows_below[jsn]
+        # Rows of the gather split in three bands relative to supernode jsn:
+        #  [0, j0)       -> strictly above its columns: upper storage of the
+        #                   row's own supernode (handled transposed below)
+        #  [j0, j1)      -> inside its columns: diagonal block
+        #  [j1, m)       -> strictly below: its Ainv L panel
+        g[j0:j1, j0:j1] = inv.diag[jsn][np.ix_(cols_local, cols_local)]
+        if j1 < m:
+            posr = np.searchsorted(below, rows[j1:])
+            g[j1:m, j0:j1] = inv.lpanel[jsn][np.ix_(posr, cols_local)]
+        if j0 > 0:
+            # Entries (r, c) with r < first col of jsn: stored in the
+            # upper panel of r's supernode; gather row band by row band.
+            # rows[0:j0] may span several supernodes -- reuse the group
+            # loop structure by indexing each row's own supernode.
+            posc_cache: dict[int, np.ndarray] = {}
+            for ii in range(j0):
+                r = int(rows[ii])
+                ksn = int(struct.snode_of[r])
+                posc = posc_cache.get(ksn)
+                if posc is None:
+                    posc = np.searchsorted(struct.rows_below[ksn], rows[j0:j1])
+                    posc_cache[ksn] = posc
+                g[ii, j0:j1] = inv.upanel[ksn][r - struct.first_col(ksn), posc]
+    return g
+
+
+def selected_inversion(factor: SupernodalFactor) -> SelectedInverse:
+    """Second loop of Algorithm 1; ``factor`` must already be normalized."""
+    if not factor.normalized:
+        raise ValueError("call normalize(factor) before selected_inversion")
+    struct = factor.struct
+    nsup = struct.nsup
+    dt = factor.LX[0].dtype if factor.LX else np.float64
+    diag: list[np.ndarray] = [np.empty(0)] * nsup
+    lpanel: list[np.ndarray] = [np.empty(0)] * nsup
+    upanel: list[np.ndarray] = [np.empty(0)] * nsup
+    inv = SelectedInverse(struct=struct, diag=diag, lpanel=lpanel, upanel=upanel)
+    for k in range(nsup - 1, -1, -1):
+        s = struct.width(k)
+        d = factor.diag_block(k)
+        # Base term inv(U_KK) inv(L_KK) = inv(A_KK - schur corrections).
+        ident = np.eye(s, dtype=dt)
+        linv = solve_triangular(d, ident, lower=True, unit_diagonal=True)
+        base = solve_triangular(d, linv, lower=False)
+        rows = struct.rows_below[k]
+        m = len(rows)
+        if m == 0:
+            diag[k] = base
+            lpanel[k] = np.zeros((0, s), dtype=dt)
+            upanel[k] = np.zeros((s, 0), dtype=dt)
+            continue
+        g = gather_ainv_cc(inv, rows)
+        lhat = factor.l_panel(k)
+        uhat = factor.u_panel(k)
+        ainv_ck = -(g @ lhat)
+        lpanel[k] = ainv_ck
+        diag[k] = base - uhat @ ainv_ck
+        upanel[k] = -(uhat @ g)
+    return inv

@@ -1,0 +1,79 @@
+"""Sparse triangular solves with a supernodal factor.
+
+Selected inversion is the star of this package, but any downstream user
+of the factorization also wants ``A x = b``; this module provides the
+supernodal forward/backward substitution over the same block storage,
+plus a permutation-aware driver for :class:`~repro.sparse.driver.AnalyzedProblem`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from .driver import AnalyzedProblem
+from .factor import SupernodalFactor, factorize
+
+__all__ = ["solve_factored", "solve"]
+
+
+def solve_factored(factor: SupernodalFactor, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` given the (raw, un-normalized) factor ``A = LU``.
+
+    ``b`` may be a vector or an ``(n, k)`` block of right-hand sides,
+    in the factor's (permuted) index space.
+    """
+    if getattr(factor, "normalized", False):
+        raise ValueError(
+            "factor has been normalized for selected inversion; "
+            "solve requires the raw LU panels (factorize() a fresh copy)"
+        )
+    struct = factor.struct
+    x = np.array(b, dtype=np.result_type(b, factor.LX[0].dtype), copy=True)
+    vec = x.ndim == 1
+    if vec:
+        x = x[:, None]
+    if x.shape[0] != struct.n:
+        raise ValueError(f"rhs has {x.shape[0]} rows, expected {struct.n}")
+
+    # Forward: L y = b   (unit lower, block column sweep).
+    for k in range(struct.nsup):
+        fc = struct.first_col(k)
+        s = struct.width(k)
+        d = factor.diag_block(k)
+        x[fc : fc + s] = solve_triangular(
+            d, x[fc : fc + s], lower=True, unit_diagonal=True
+        )
+        rows = struct.rows_below[k]
+        if len(rows):
+            x[rows] -= factor.l_panel(k) @ x[fc : fc + s]
+
+    # Backward: U x = y   (block column sweep, descending).
+    for k in range(struct.nsup - 1, -1, -1):
+        fc = struct.first_col(k)
+        s = struct.width(k)
+        rows = struct.rows_below[k]
+        if len(rows):
+            x[fc : fc + s] -= factor.u_panel(k) @ x[rows]
+        x[fc : fc + s] = solve_triangular(
+            factor.diag_block(k), x[fc : fc + s], lower=False
+        )
+    return x[:, 0] if vec else x
+
+
+def solve(problem: AnalyzedProblem, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` in the ORIGINAL index space of the input matrix.
+
+    Factorizes internally (use :func:`solve_factored` to reuse a factor).
+    """
+    b = np.asarray(b)
+    factor = factorize(problem.matrix, problem.struct)
+    perm = problem.perm
+    xb = b[perm] if b.ndim == 1 else b[perm, :]
+    y = solve_factored(factor, xb)
+    out = np.empty_like(y)
+    if y.ndim == 1:
+        out[perm] = y
+    else:
+        out[perm, :] = y
+    return out

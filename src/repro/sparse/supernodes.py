@@ -1,0 +1,352 @@
+"""Supernode partitioning and supernodal symbolic structure.
+
+A *supernode* is a maximal range of contiguous columns of ``L`` sharing an
+identical below-diagonal row structure.  Supernodes turn the sparse
+factorization (and selected inversion) into dense BLAS3 block operations,
+and they are the unit of distribution in PSelInv's 2D block-cyclic layout:
+every communication event in the paper is "per supernode, per block row".
+
+This module provides:
+
+* :func:`fundamental_partition` -- detect structure-identical supernodes
+  from the elimination tree and column counts.
+* :func:`relax_partition` -- CHOLMOD-style relaxed amalgamation that merges
+  small child supernodes into their parents, trading a bounded number of
+  explicit zeros for larger dense blocks (real codes, including the
+  SuperLU_DIST pipeline the paper builds on, always do this).
+* :class:`SupernodalStructure` -- the supernodal row structures, block
+  rows, supernodal elimination tree and invariant checks.  This object is
+  the *interface contract* between the sparse substrate and the parallel
+  layers: both the numeric factorization and the communication-volume
+  models read only this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .etree import elimination_tree, is_postordered
+from .matrix import SparseMatrix
+from .symbolic import column_counts
+
+__all__ = [
+    "fundamental_partition",
+    "relax_partition",
+    "split_partition",
+    "SupernodalStructure",
+    "supernodal_structure",
+]
+
+
+def fundamental_partition(parent: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Partition columns into maximal structure-identical supernodes.
+
+    Column ``j+1`` joins the supernode of ``j`` iff ``parent[j] == j+1``
+    and ``counts[j] == counts[j+1] + 1`` (the classic criterion: the
+    structure of column ``j`` minus its diagonal is always contained in
+    that of its parent, and the counts matching forces equality).
+
+    Returns ``sn_ptr`` of length ``nsup + 1``: supernode ``K`` spans
+    columns ``[sn_ptr[K], sn_ptr[K+1])``.
+    """
+    n = len(parent)
+    starts = [0]
+    for j in range(n - 1):
+        if not (parent[j] == j + 1 and counts[j] == counts[j + 1] + 1):
+            starts.append(j + 1)
+    starts.append(n)
+    return np.asarray(starts, dtype=np.int64)
+
+
+def relax_partition(
+    parent: np.ndarray,
+    counts: np.ndarray,
+    sn_ptr: np.ndarray,
+    *,
+    max_size: int = 64,
+    small: int = 8,
+    zero_fraction: float = 0.15,
+) -> np.ndarray:
+    """Relaxed amalgamation of a fundamental partition.
+
+    Walks supernodes bottom-up and merges a child supernode into its
+    parent when (a) the child's parent supernode starts exactly where the
+    child's columns end *in the elimination tree* (i.e. the parent of the
+    child's last column is the parent supernode's first column), and (b)
+    either both are tiny (``<= small`` columns) or the estimated fraction
+    of explicit zeros introduced stays below ``zero_fraction``, and (c)
+    the merged supernode does not exceed ``max_size`` columns.
+
+    The returned partition is coarser than the input; structures must be
+    recomputed with :func:`supernodal_structure` afterwards.
+    """
+    nsup = len(sn_ptr) - 1
+    first = sn_ptr[:-1].copy()
+    last = sn_ptr[1:] - 1
+    width = (sn_ptr[1:] - sn_ptr[:-1]).astype(np.int64)
+    # Union-find over supernodes; we only ever merge K into K+1 when the
+    # column ranges are adjacent, so the partition stays contiguous.
+    merged_into_next = np.zeros(nsup, dtype=bool)
+    # Effective width/zero estimates as we merge.
+    eff_width = width.copy()
+    eff_rows = counts[first] - 1  # below-diagonal rows of the snode's 1st col
+    eff_zeros = np.zeros(nsup, dtype=np.int64)
+
+    for k in range(nsup - 1):
+        j_last = last[k]
+        p = parent[j_last]
+        if p != first[k + 1]:
+            continue  # parent supernode is not the adjacent one
+        w = eff_width[k] + eff_width[k + 1]
+        if w > max_size:
+            continue
+        # Zeros introduced: child columns get padded up to the parent's
+        # structure.  Estimate per merged child column: parent's rows + its
+        # own extra width vs its true count.
+        padded = int(eff_rows[k + 1]) + int(eff_width[k + 1])
+        true = int(counts[first[k]]) - 1
+        extra = max(0, (padded - true)) * int(eff_width[k])
+        total = (int(eff_rows[k + 1]) + w) * w
+        ok_small = eff_width[k] <= small and eff_width[k + 1] <= small
+        if not ok_small and total > 0 and (eff_zeros[k] + extra) / total > zero_fraction:
+            continue
+        merged_into_next[k] = True
+        eff_width[k + 1] = w
+        eff_zeros[k + 1] = eff_zeros[k] + extra
+        first[k + 1] = first[k]
+    starts = [int(first[k]) for k in range(nsup) if not (k > 0 and merged_into_next[k - 1])]
+    # Rebuild pointer array from surviving starts.
+    keep = [0]
+    for k in range(nsup):
+        if merged_into_next[k]:
+            continue
+        keep.append(int(last[k]) + 1)
+    out = np.asarray(keep, dtype=np.int64)
+    assert out[0] == 0 and out[-1] == len(parent)
+    return out
+
+
+def split_partition(sn_ptr: np.ndarray, max_size: int) -> np.ndarray:
+    """Split supernodes wider than ``max_size`` into chunks.
+
+    Dense trailing blocks (top-level nested-dissection separators) form a
+    single huge fundamental supernode; production solvers cap panel width
+    both for BLAS efficiency and -- crucially for PSelInv -- to expose
+    block-level parallelism across the processor grid.  Splitting a
+    structure-identical supernode is always valid: each chunk's structure
+    is the tail columns of the original plus the original's below-diagonal
+    rows.
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be positive")
+    starts: list[int] = []
+    for k in range(len(sn_ptr) - 1):
+        fc, end = int(sn_ptr[k]), int(sn_ptr[k + 1])
+        for c in range(fc, end, max_size):
+            starts.append(c)
+    starts.append(int(sn_ptr[-1]))
+    return np.asarray(starts, dtype=np.int64)
+
+
+@dataclass
+class SupernodalStructure:
+    """Supernodal symbolic structure of a factorization.
+
+    Attributes
+    ----------
+    n:
+        Matrix dimension.
+    sn_ptr:
+        ``nsup + 1`` column pointers; supernode ``K`` spans columns
+        ``[sn_ptr[K], sn_ptr[K+1])``.
+    snode_of:
+        Length-``n`` map column -> supernode index.
+    rows_below:
+        For each supernode, the sorted row indices strictly below its last
+        column that appear in its (possibly padded) structure.
+    block_rows:
+        For each supernode ``K``, the sorted array of *supernode indices*
+        ``I > K`` such that some row of supernode ``I`` appears in
+        ``rows_below[K]``.  These are the ``L_{I,K}`` blocks of the paper;
+        together with ``K`` itself they form the index set ``C`` of
+        Algorithm 1.
+    sparent:
+        Supernodal elimination tree: ``sparent[K]`` is the supernode of
+        ``min(rows_below[K])`` (or ``-1`` for roots).
+    """
+
+    n: int
+    sn_ptr: np.ndarray
+    snode_of: np.ndarray
+    rows_below: list[np.ndarray]
+    block_rows: list[np.ndarray] = field(default_factory=list)
+    sparent: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def nsup(self) -> int:
+        return len(self.sn_ptr) - 1
+
+    def first_col(self, k: int) -> int:
+        return int(self.sn_ptr[k])
+
+    def last_col(self, k: int) -> int:
+        return int(self.sn_ptr[k + 1]) - 1
+
+    def width(self, k: int) -> int:
+        return int(self.sn_ptr[k + 1] - self.sn_ptr[k])
+
+    def widths(self) -> np.ndarray:
+        return (self.sn_ptr[1:] - self.sn_ptr[:-1]).astype(np.int64)
+
+    def block_row_count(self, k: int, i: int) -> int:
+        """Number of rows of supernode ``I`` present in ``rows_below[K]``."""
+        rows = self.rows_below[k]
+        lo = np.searchsorted(rows, self.sn_ptr[i])
+        hi = np.searchsorted(rows, self.sn_ptr[i + 1])
+        return int(hi - lo)
+
+    def block_row_indices(self, k: int, i: int) -> np.ndarray:
+        """Row indices of block ``L_{I,K}`` (subset of supernode I's cols)."""
+        rows = self.rows_below[k]
+        lo = np.searchsorted(rows, self.sn_ptr[i])
+        hi = np.searchsorted(rows, self.sn_ptr[i + 1])
+        return rows[lo:hi]
+
+    def factor_nnz(self) -> int:
+        """Stored entries of L (dense diagonal blocks + panels)."""
+        total = 0
+        for k in range(self.nsup):
+            s = self.width(k)
+            total += s * (s + 1) // 2 + len(self.rows_below[k]) * s
+        return total
+
+    def factor_nnz_lu(self) -> int:
+        """Stored entries of L + U (both triangles, diagonal once)."""
+        return 2 * self.factor_nnz() - self.n
+
+    # -- invariants ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural invariants the parallel layers rely on.
+
+        Raises ``AssertionError`` on violation.  The critical one is the
+        *chain closure* property: for any supernode ``K`` and any column
+        ``c`` in its structure with ``J = snode(c)``, every structure row
+        ``r >= first(J)`` of ``K`` lies in ``cols(J) U rows_below(J)``.
+        This is exactly what makes (a) the right-looking scatter in the
+        numeric factorization and (b) the ``Ainv(C, C)`` gather in
+        selected inversion well defined.
+        """
+        assert self.sn_ptr[0] == 0 and self.sn_ptr[-1] == self.n
+        assert np.all(np.diff(self.sn_ptr) > 0)
+        for k in range(self.nsup):
+            rows = self.rows_below[k]
+            assert np.all(np.diff(rows) > 0), "rows must be sorted unique"
+            if len(rows):
+                assert rows[0] > self.last_col(k)
+            if self.sparent.size:
+                sp = self.sparent[k]
+                if len(rows) == 0:
+                    assert sp == -1
+                else:
+                    assert sp == self.snode_of[rows[0]]
+        # Chain closure.
+        for k in range(self.nsup):
+            rows = self.rows_below[k]
+            for c in rows:
+                j = int(self.snode_of[c])
+                target = set(range(self.first_col(j), self.last_col(j) + 1))
+                target.update(int(r) for r in self.rows_below[j])
+                tail = rows[rows >= self.first_col(j)]
+                for r in tail:
+                    assert int(r) in target, (
+                        f"closure violated: supernode {k} row {int(r)} not in "
+                        f"structure of ancestor supernode {j}"
+                    )
+
+
+def supernodal_structure(
+    a: SparseMatrix,
+    *,
+    parent: np.ndarray | None = None,
+    counts: np.ndarray | None = None,
+    relax: bool = True,
+    max_size: int = 64,
+    small: int = 8,
+    zero_fraction: float = 0.15,
+) -> SupernodalStructure:
+    """Compute the full supernodal symbolic structure of ``A``.
+
+    ``A`` must be structurally symmetric and topologically ordered.  The
+    supernodal row structures are built by the union recursion over the
+    supernodal elimination tree::
+
+        rows(K) = ( U_{j in K} A_lower(j)  U  U_{child C} rows(C) ) \\ cols(<= last(K))
+
+    which reproduces the per-column symbolic factorization exactly for the
+    fundamental partition and yields a consistent padded superset for a
+    relaxed partition.
+    """
+    if parent is None:
+        parent = elimination_tree(a)
+    if not is_postordered(parent):
+        raise ValueError("matrix must be topologically ordered")
+    if counts is None:
+        counts = column_counts(a, parent)
+    sn_ptr = fundamental_partition(parent, counts)
+    if relax:
+        sn_ptr = relax_partition(
+            parent,
+            counts,
+            sn_ptr,
+            max_size=max_size,
+            small=small,
+            zero_fraction=zero_fraction,
+        )
+    sn_ptr = split_partition(sn_ptr, max_size)
+    nsup = len(sn_ptr) - 1
+    snode_of = np.empty(a.n, dtype=np.int64)
+    for k in range(nsup):
+        snode_of[sn_ptr[k] : sn_ptr[k + 1]] = k
+
+    rows_below: list[np.ndarray] = [np.empty(0, np.int64)] * nsup
+    sparent = np.full(nsup, -1, dtype=np.int64)
+    pending: dict[int, list[np.ndarray]] = {}
+    for k in range(nsup):
+        fc, lc = sn_ptr[k], sn_ptr[k + 1] - 1
+        parts = pending.pop(k, [])
+        for j in range(fc, lc + 1):
+            arows = a.column_rows(j)
+            parts.append(arows[arows > lc].astype(np.int64))
+        if parts:
+            rows = np.unique(np.concatenate(parts))
+        else:
+            rows = np.empty(0, dtype=np.int64)
+        rows_below[k] = rows
+        if len(rows):
+            p = int(snode_of[rows[0]])
+            sparent[k] = p
+            tail = rows[rows > sn_ptr[p + 1] - 1]
+            if len(tail):
+                pending.setdefault(p, []).append(tail)
+
+    block_rows: list[np.ndarray] = []
+    for k in range(nsup):
+        rows = rows_below[k]
+        if len(rows):
+            block_rows.append(np.unique(snode_of[rows]))
+        else:
+            block_rows.append(np.empty(0, dtype=np.int64))
+
+    return SupernodalStructure(
+        n=a.n,
+        sn_ptr=sn_ptr,
+        snode_of=snode_of,
+        rows_below=rows_below,
+        block_rows=block_rows,
+        sparent=sparent,
+    )

@@ -1,0 +1,16 @@
+"""Synthetic workload generators standing in for the paper's test matrices."""
+
+from .dg import dg_hamiltonian
+from .laplacian import grid_laplacian_2d, grid_laplacian_3d, random_spd_sparse
+from .registry import WORKLOADS, Workload, make_workload, workload_names
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "dg_hamiltonian",
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "make_workload",
+    "random_spd_sparse",
+    "workload_names",
+]

@@ -1,0 +1,228 @@
+"""Tests for the analysis/reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ScalingSeries,
+    Table,
+    diagonal_concentration,
+    modeled_superlu_time,
+    render_ascii,
+    render_histogram,
+    speedup_table,
+    stripe_score,
+    summary_row,
+    tail_fraction,
+    timing_summary,
+    uniformity,
+    volume_histogram,
+)
+
+
+class TestSummaryRow:
+    def test_basic_stats(self):
+        v = np.array([1e6, 2e6, 3e6, 4e6])
+        s = summary_row(v)
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["median"] == 2.5 and s["mean"] == 2.5
+        assert s["std"] == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_unit_conversion(self):
+        s = summary_row(np.array([1000.0]), unit=1e3)
+        assert s["max"] == 1.0
+
+
+class TestTimingSummary:
+    def test_stats(self):
+        s = timing_summary([1.0, 2.0, 3.0])
+        assert s["mean"] == 2.0 and s["runs"] == 3
+        assert s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            timing_summary([])
+
+
+class TestTable:
+    def test_render_contains_data(self):
+        t = Table("Title", ["a", "b"])
+        t.add("x", 1.2345)
+        out = t.render()
+        assert "Title" in out and "x" in out and "1.234" in out
+
+    def test_wrong_arity_rejected(self):
+        t = Table("T", ["a"])
+        with pytest.raises(ValueError):
+            t.add(1, 2)
+
+    def test_number_formatting(self):
+        t = Table("T", ["v"])
+        t.add(0.00001)
+        t.add(123456.0)
+        t.add(0)
+        out = t.render()
+        assert "1e-05" in out and "0" in out
+
+
+class TestHeatmapMetrics:
+    def test_render_ascii_shape(self):
+        hm = np.arange(12.0).reshape(3, 4)
+        art = render_ascii(hm)
+        lines = art.splitlines()
+        assert len(lines) == 3 and all(len(l) == 4 for l in lines)
+        # Largest value renders darkest.
+        assert lines[2][3] == "@"
+
+    def test_render_shared_scale(self):
+        hm = np.ones((2, 2))
+        art = render_ascii(hm, vmax=10.0)
+        assert "@" not in art
+
+    def test_diagonal_concentration_detects_hot_diagonal(self):
+        hm = np.ones((8, 8))
+        np.fill_diagonal(hm, 10.0)
+        assert diagonal_concentration(hm) > 3
+        assert diagonal_concentration(np.ones((8, 8))) == pytest.approx(1.0)
+
+    def test_stripe_score_detects_stripes(self):
+        hm = np.ones((8, 8))
+        hm[::2, :] = 5.0  # horizontal stripes
+        assert stripe_score(hm, axis=0) == pytest.approx(1.0)
+        assert stripe_score(hm, axis=1) == pytest.approx(0.0)
+        rng = np.random.default_rng(0)
+        noise = rng.random((8, 8))
+        assert stripe_score(noise, axis=0) < 0.5
+
+    def test_uniformity(self):
+        assert uniformity(np.ones((4, 4))) == 0.0
+        assert uniformity(np.diag([1.0] * 4)) > 0.5
+
+
+class TestHistogram:
+    def test_histogram_and_render(self):
+        v = np.array([1e6, 1.5e6, 2e6, 8e6])
+        counts, edges = volume_histogram(v, bins=4, range_=(0, 8))
+        assert counts.sum() == 4
+        art = render_histogram(counts, edges)
+        assert art.count("\n") == 3
+
+    def test_tail_fraction(self):
+        v = np.array([1.0, 1.0, 1.0, 10.0])
+        assert tail_fraction(v, factor=2.0) == 0.25
+        assert tail_fraction(np.ones(5)) == 0.0
+        assert tail_fraction(np.zeros(5)) == 0.0
+
+
+class TestScalingSeries:
+    def test_add_and_summarize(self):
+        s = ScalingSeries("flat")
+        s.add(64, 10.0)
+        s.add(64, 12.0)
+        s.add(256, 6.0)
+        assert s.procs() == [64, 256]
+        assert s.mean(64) == 11.0
+        assert s.std(64) == 1.0
+        assert s.summary()[256]["runs"] == 1
+
+    def test_speedup_table(self):
+        base = ScalingSeries("flat")
+        fast = ScalingSeries("shifted")
+        for p, t in ((64, 10.0), (256, 12.0)):
+            base.add(p, t)
+        fast.add(64, 5.0)
+        fast.add(256, 2.0)
+        fast.add(1024, 1.0)  # not in baseline: ignored
+        table = speedup_table(base, fast)
+        assert table == {64: 2.0, 256: 6.0}
+
+
+class TestSuperLUModel:
+    def test_decreases_then_flattens(self):
+        t = [
+            modeled_superlu_time(1e12, 10**7, p, nsup=500)
+            for p in (64, 256, 1024, 4096)
+        ]
+        assert t[0] > t[1] > t[2]
+
+    def test_latency_floor_at_huge_p(self):
+        t_small = modeled_superlu_time(1e10, 10**6, 4096, nsup=2000)
+        t_big = modeled_superlu_time(1e10, 10**6, 65536, nsup=2000)
+        # The log-latency term eventually dominates.
+        assert t_big > t_small * 0.5
+
+
+class TestConcurrency:
+    @staticmethod
+    def _struct():
+        from repro.sparse import analyze
+        from repro.workloads import grid_laplacian_2d
+
+        return analyze(grid_laplacian_2d(10, 10), ordering="nd").struct
+
+    def test_profile_consistency(self):
+        from repro.analysis import concurrency_profile
+
+        struct = self._struct()
+        prof = concurrency_profile(struct)
+        assert prof["nsup"] == struct.nsup
+        assert prof["widths"].sum() == struct.nsup
+        assert prof["depth"] == len(prof["widths"])
+        # The top level holds exactly the root supernodes.
+        roots = int((struct.sparent == -1).sum())
+        assert prof["widths"][0] == roots
+
+    def test_critical_path_bounds(self):
+        from repro.analysis import critical_path
+
+        struct = self._struct()
+        cp = critical_path(struct)
+        assert 0 < cp["span"] <= cp["work"]
+        assert cp["max_speedup"] >= 1.0
+
+    def test_chain_structure_has_no_speedup(self):
+        """A tridiagonal matrix's tree is a chain: span == work."""
+        import numpy as np
+
+        from repro.analysis import critical_path
+        from repro.sparse import analyze, from_dense
+
+        n = 16
+        a = np.eye(n) * 4 + np.eye(n, k=1) + np.eye(n, k=-1)
+        struct = analyze(from_dense(a), ordering="natural", relax=False).struct
+        cp = critical_path(struct)
+        assert cp["max_speedup"] == 1.0
+
+    def test_pipeline_estimate(self):
+        from repro.analysis import pipeline_depth_estimate
+
+        struct = self._struct()
+        est = pipeline_depth_estimate(struct, 16)
+        assert 1 <= est["suggested_window"] <= struct.nsup
+        assert est["total_gemms"] >= est["mean_gemms_per_supernode"]
+
+
+class TestRenderEdgeCases:
+    def test_render_ascii_zero_matrix(self):
+        from repro.analysis import render_ascii
+
+        art = render_ascii(np.zeros((2, 3)))
+        assert art == "   \n   "
+
+    def test_render_histogram_empty_bins(self):
+        from repro.analysis import render_histogram, volume_histogram
+
+        counts, edges = volume_histogram(np.zeros(4), bins=3, range_=(0, 1))
+        art = render_histogram(counts, edges)
+        assert "4" in art  # all mass in the first bin
+
+    def test_diagonal_concentration_rectangular(self):
+        from repro.analysis import diagonal_concentration
+
+        hm = np.ones((4, 8))
+        assert diagonal_concentration(hm) == 1.0
+
+    def test_stripe_score_single_row(self):
+        from repro.analysis import stripe_score
+
+        assert stripe_score(np.ones((1, 5))) == 0.0

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["volumes"])
+        assert args.workload == "audikw_1"
+        assert args.grid == 8
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["heatmap", "DG_PNF14000", "-g", "12", "--scale", "tiny"]
+        )
+        assert args.workload == "DG_PNF14000"
+        assert args.grid == 12
+        assert args.scale == "tiny"
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "audikw_1" in out and "DG_PNF14000" in out
+
+    def test_analyze_tiny(self, capsys):
+        assert main(["analyze", "audikw_1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "nnz_lu" in out
+
+    def test_volumes_tiny(self, capsys):
+        assert main(
+            ["volumes", "audikw_1", "--scale", "tiny", "-g", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "shifted" in out
+
+    def test_heatmap_tiny(self, capsys):
+        assert main(
+            ["heatmap", "audikw_1", "--scale", "tiny", "-g", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[binary]" in out
+
+    def test_selinv(self, capsys):
+        assert main(["selinv"]) == 0
+        out = capsys.readouterr().out
+        assert "max |err|" in out
+
+    def test_scaling_minimal(self, capsys):
+        assert main(
+            ["scaling", "audikw_1", "--scale", "tiny", "-g", "4", "-r", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup over flat" in out
+
+    def test_concurrency_tiny(self, capsys):
+        assert main(
+            ["concurrency", "audikw_1", "--scale", "tiny", "-g", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "max speedup bound" in out

@@ -1,0 +1,214 @@
+"""Tests for asynchronous tree broadcast / reduce over the machine."""
+
+import numpy as np
+import pytest
+
+from repro.comm import TreeBroadcast, TreeReduce, build_tree
+from repro.simulate import Machine, Network, NetworkConfig
+
+
+def make_machine(n=16):
+    return Machine(n, Network(n, NetworkConfig()))
+
+
+def wire(machine, registry):
+    for r in range(machine.nranks):
+        machine.set_handler(
+            r, lambda msg: registry[msg.tag].on_message(msg)
+        )
+
+
+@pytest.mark.parametrize("scheme", ["flat", "binary", "shifted", "randperm", "hybrid"])
+@pytest.mark.parametrize("nparticipants", [1, 2, 5, 13])
+class TestBroadcast:
+    def test_payload_reaches_every_participant(self, scheme, nparticipants):
+        m = make_machine()
+        participants = set(range(0, nparticipants))
+        root = nparticipants - 1
+        tree = build_tree(scheme, root, participants, seed=3)
+        delivered = {}
+        registry = {}
+        bc = TreeBroadcast(
+            m, tree, "tag", 1000, "col-bcast",
+            lambda rank, payload: delivered.setdefault(rank, payload),
+        )
+        registry["tag"] = bc
+        wire(m, registry)
+        bc.start(payload="DATA")
+        m.run()
+        assert set(delivered) == participants
+        assert all(v == "DATA" for v in delivered.values())
+
+    def test_message_count_is_p_minus_1(self, scheme, nparticipants):
+        m = make_machine()
+        participants = set(range(nparticipants))
+        tree = build_tree(scheme, 0, participants, seed=3)
+        registry = {}
+        bc = TreeBroadcast(m, tree, "t", 64, "col-bcast", lambda r, p: None)
+        registry["t"] = bc
+        wire(m, registry)
+        bc.start()
+        m.run()
+        total_msgs = sum(
+            arr.sum() for arr in m.stats.messages_sent.values()
+        )
+        assert total_msgs == nparticipants - 1
+
+
+class TestBroadcastMisuse:
+    def test_double_start_rejected(self):
+        m = make_machine()
+        tree = build_tree("flat", 0, {0, 1})
+        bc = TreeBroadcast(m, tree, "t", 8, "x", lambda r, p: None)
+        m.set_handler(1, lambda msg: bc.on_message(msg))
+        bc.start()
+        with pytest.raises(RuntimeError, match="started twice"):
+            bc.start()
+
+
+@pytest.mark.parametrize("scheme", ["flat", "binary", "shifted"])
+@pytest.mark.parametrize("nparticipants", [1, 2, 6, 12])
+class TestReduce:
+    def test_sum_reaches_root(self, scheme, nparticipants):
+        m = make_machine()
+        participants = set(range(nparticipants))
+        root = 0
+        tree = build_tree(scheme, root, participants, seed=9)
+        result = []
+        registry = {}
+        red = TreeReduce(
+            m, tree, "r", 256, "row-reduce",
+            contributors=participants,
+            on_complete=lambda v: result.append(v),
+        )
+        registry["r"] = red
+        wire(m, registry)
+        for r in sorted(participants):
+            red.contribute(r, np.array([float(r)]))
+        m.run()
+        assert len(result) == 1
+        assert result[0][0] == pytest.approx(sum(range(nparticipants)))
+
+    def test_symbolic_mode_counts_only(self, scheme, nparticipants):
+        m = make_machine()
+        participants = set(range(nparticipants))
+        tree = build_tree(scheme, 0, participants, seed=9)
+        done = []
+        registry = {}
+        red = TreeReduce(
+            m, tree, "r", 128, "row-reduce",
+            contributors=participants,
+            on_complete=lambda v: done.append(v),
+        )
+        registry["r"] = red
+        wire(m, registry)
+        for r in participants:
+            red.contribute(r, None)
+        m.run()
+        assert done == [None]
+
+
+class TestReduceEdgeCases:
+    def test_root_not_a_contributor(self):
+        m = make_machine()
+        participants = {0, 1, 2, 3}
+        tree = build_tree("binary", 0, participants, seed=0)
+        out = []
+        red = TreeReduce(
+            m, tree, "r", 64, "row-reduce",
+            contributors={1, 2, 3},
+            on_complete=lambda v: out.append(v),
+        )
+        wire(m, {"r": red})
+        for r in (1, 2, 3):
+            red.contribute(r, np.array([1.0]))
+        m.run()
+        assert out and out[0][0] == pytest.approx(3.0)
+
+    def test_contributions_arrive_late(self):
+        # Contributions staggered in virtual time must still all combine.
+        m = make_machine()
+        participants = set(range(5))
+        tree = build_tree("shifted", 2, participants, seed=4)
+        out = []
+        red = TreeReduce(
+            m, tree, "r", 64, "row-reduce",
+            contributors=participants,
+            on_complete=lambda v: out.append(v),
+        )
+        wire(m, {"r": red})
+        for i, r in enumerate(sorted(participants)):
+            m.sim.schedule(
+                0.1 * (i + 1), lambda r=r: red.contribute(r, np.array([2.0]))
+            )
+        m.run()
+        assert out[0][0] == pytest.approx(10.0)
+
+    def test_unknown_contributor_rejected(self):
+        m = make_machine()
+        tree = build_tree("flat", 0, {0, 1})
+        red = TreeReduce(
+            m, tree, "r", 8, "x", contributors={0, 1}, on_complete=lambda v: None
+        )
+        with pytest.raises(ValueError, match="not a contributor"):
+            red.contribute(3, None)
+
+    def test_contributor_outside_tree_rejected(self):
+        m = make_machine()
+        tree = build_tree("flat", 0, {0, 1})
+        with pytest.raises(ValueError, match="not in the tree"):
+            TreeReduce(
+                m, tree, "r", 8, "x", contributors={5},
+                on_complete=lambda v: None,
+            )
+
+    def test_double_contribution_rejected(self):
+        m = make_machine()
+        tree = build_tree("flat", 0, {0})
+        red = TreeReduce(
+            m, tree, "r", 8, "x", contributors={0}, on_complete=lambda v: None
+        )
+        red.contribute(0, None)
+        with pytest.raises(RuntimeError, match="after completion"):
+            red.contribute(0, None)
+
+    def test_custom_combine(self):
+        m = make_machine()
+        participants = {0, 1, 2}
+        tree = build_tree("flat", 0, participants)
+        out = []
+        red = TreeReduce(
+            m, tree, "r", 8, "x",
+            contributors=participants,
+            on_complete=lambda v: out.append(v),
+            combine=max,
+        )
+        wire(m, {"r": red})
+        for r, v in ((0, 5), (1, 9), (2, 3)):
+            red.contribute(r, v)
+        m.run()
+        assert out == [9]
+
+
+class TestConcurrentCollectives:
+    def test_many_overlapping_broadcasts(self):
+        """Multiple restricted collectives in flight simultaneously --
+        the paper's central requirement."""
+        m = make_machine(12)
+        registry = {}
+        delivered = {t: set() for t in range(10)}
+        for t in range(10):
+            participants = set(range(t % 3, 12, t % 4 + 1))
+            root = min(participants)
+            tree = build_tree("shifted", root, participants, seed=t)
+            bc = TreeBroadcast(
+                m, tree, t, 100 * (t + 1), "col-bcast",
+                lambda rank, payload, t=t: delivered[t].add(rank),
+            )
+            registry[t] = bc
+        wire(m, registry)
+        for t, bc in registry.items():
+            bc.start()
+        m.run()
+        for t, bc in registry.items():
+            assert delivered[t] == set(bc.tree.ranks())

@@ -1,0 +1,143 @@
+"""Tests for elimination-tree construction and tree utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import from_dense, symmetrize_pattern
+from repro.sparse.etree import (
+    children_lists,
+    elimination_tree,
+    is_postordered,
+    postorder,
+    subtree_sizes,
+    tree_levels,
+)
+from tests.conftest import random_symmetric_dense
+
+
+def brute_force_etree(a: np.ndarray) -> np.ndarray:
+    """Reference: parent[j] = min{i > j : L[i, j] != 0} via dense
+    symbolic Cholesky-style fill."""
+    n = a.shape[0]
+    pattern = (a != 0).astype(float)
+    # Symbolic fill: struct(j) entries create a clique among themselves.
+    for j in range(n):
+        rows = np.flatnonzero(pattern[j + 1 :, j]) + j + 1
+        if len(rows):
+            first = rows[0]
+            pattern[rows, first] = 1
+            pattern[first, rows] = 1
+    parent = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        rows = np.flatnonzero(pattern[j + 1 :, j]) + j + 1
+        if len(rows):
+            parent[j] = rows[0]
+    return parent
+
+
+class TestEliminationTree:
+    def test_tridiagonal_is_a_chain(self):
+        n = 6
+        a = np.eye(n) * 4 + np.eye(n, k=1) + np.eye(n, k=-1)
+        parent = elimination_tree(from_dense(a))
+        assert np.array_equal(parent, [1, 2, 3, 4, 5, -1])
+
+    def test_diagonal_matrix_is_a_forest(self):
+        parent = elimination_tree(from_dense(np.eye(5)))
+        assert np.array_equal(parent, [-1] * 5)
+
+    def test_arrow_matrix(self):
+        # Arrow pointing at the last column: every node hangs off n-1.
+        n = 5
+        a = np.eye(n) * 4
+        a[-1, :] = 1
+        a[:, -1] = 1
+        parent = elimination_tree(from_dense(a))
+        assert np.array_equal(parent, [n - 1] * (n - 1) + [-1])
+
+    def test_against_brute_force(self, rng):
+        for _ in range(10):
+            a = random_symmetric_dense(25, 2.5, rng)
+            parent = elimination_tree(from_dense(a))
+            want = brute_force_etree(a)
+            assert np.array_equal(parent, want)
+
+    def test_parent_always_larger(self, rng):
+        a = random_symmetric_dense(40, 3.0, rng)
+        parent = elimination_tree(from_dense(a))
+        for v, p in enumerate(parent):
+            assert p == -1 or p > v
+
+
+class TestPostorder:
+    def test_postorder_is_permutation(self, rng):
+        a = random_symmetric_dense(30, 2.0, rng)
+        parent = elimination_tree(from_dense(a))
+        post = postorder(parent)
+        assert np.array_equal(np.sort(post), np.arange(len(parent)))
+
+    def test_children_before_parents(self, rng):
+        a = random_symmetric_dense(30, 2.0, rng)
+        parent = elimination_tree(from_dense(a))
+        post = postorder(parent)
+        position = np.empty(len(post), dtype=int)
+        position[post] = np.arange(len(post))
+        for v, p in enumerate(parent):
+            if p >= 0:
+                assert position[v] < position[p]
+
+    def test_relabeled_tree_is_topological(self, rng):
+        a = random_symmetric_dense(30, 2.0, rng)
+        m = symmetrize_pattern(from_dense(a))
+        parent = elimination_tree(m)
+        post = postorder(parent)
+        from repro.sparse import permute_symmetric
+
+        m2 = permute_symmetric(m, post)
+        parent2 = elimination_tree(m2)
+        assert is_postordered(parent2)
+
+
+class TestTreeUtilities:
+    def test_children_lists(self):
+        parent = np.array([2, 2, 4, 4, -1])
+        kids = children_lists(parent)
+        assert kids[2] == [0, 1]
+        assert kids[4] == [2, 3]
+        assert kids[0] == []
+
+    def test_subtree_sizes(self):
+        parent = np.array([2, 2, 4, 4, -1])
+        sizes = subtree_sizes(parent)
+        assert np.array_equal(sizes, [1, 1, 3, 1, 5])
+
+    def test_subtree_sizes_rejects_unordered(self):
+        with pytest.raises(ValueError, match="topologically"):
+            subtree_sizes(np.array([-1, 0]))
+
+    def test_tree_levels(self):
+        parent = np.array([2, 2, 4, 4, -1])
+        levels = tree_levels(parent)
+        assert np.array_equal(levels, [2, 2, 1, 1, 0])
+
+    def test_is_postordered(self):
+        assert is_postordered(np.array([1, 2, -1]))
+        assert not is_postordered(np.array([-1, 0, 1]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=40), st.integers(0, 2**31 - 1))
+def test_etree_invariants_property(n, seed):
+    """Property: on random symmetric patterns the etree is a valid forest
+    with parent[v] > v, and its postorder is consistent."""
+    rng = np.random.default_rng(seed)
+    a = random_symmetric_dense(n, 2.0, rng)
+    m = from_dense(a)
+    parent = elimination_tree(m)
+    assert len(parent) == n
+    for v, p in enumerate(parent):
+        assert p == -1 or (v < p < n)
+    post = postorder(parent)
+    assert np.array_equal(np.sort(post), np.arange(n))

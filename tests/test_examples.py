@@ -1,0 +1,57 @@
+"""Smoke tests: the runnable examples must actually run.
+
+Each example is executed in-process via ``runpy`` (same interpreter, no
+subprocess overhead).  Only the fast examples run here; the scaling
+study is exercised through its library pieces elsewhere.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "max |err|" in out
+    assert "distributed == sequential" in out
+
+
+def test_tree_shapes(capsys):
+    run_example("tree_shapes.py")
+    out = capsys.readouterr().out
+    assert "P4" in out and "Fig. 3(c)" in out
+
+
+def test_electronic_structure(capsys):
+    run_example("electronic_structure_workflow.py")
+    out = capsys.readouterr().out
+    assert "pole loop" in out
+    assert "parallel trace" in out
+
+
+def test_load_and_invert(capsys):
+    run_example("load_and_invert.py")
+    out = capsys.readouterr().out
+    assert "selected inverse" in out
+    assert "max |diff| vs sequential" in out
+
+
+@pytest.mark.slow
+def test_communication_volume_study(capsys):
+    run_example("communication_volume_study.py", ["audikw_1", "4"])
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Heat maps" in out

@@ -1,0 +1,120 @@
+"""Tests for the supernodal numeric LU factorization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import ZeroPivotError, analyze, from_dense
+from repro.sparse.factor import (
+    _dense_lu_nopivot,
+    factorization_flops,
+    factorize,
+    selinv_flops,
+)
+from tests.conftest import random_symmetric_dense, random_unsymmetric_dense
+
+
+class TestDenseLU:
+    def test_small_known(self):
+        a = np.array([[4.0, 2.0], [2.0, 3.0]])
+        d = a.copy()
+        _dense_lu_nopivot(d, tol=0.0)
+        L = np.tril(d, -1) + np.eye(2)
+        U = np.triu(d)
+        np.testing.assert_allclose(L @ U, a)
+
+    def test_zero_pivot_raises(self):
+        d = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ZeroPivotError):
+            _dense_lu_nopivot(d, tol=0.0)
+
+    def test_trailing_zero_pivot_raises(self):
+        d = np.array([[1.0, 1.0], [1.0, 1.0]])  # schur = 0
+        with pytest.raises(ZeroPivotError):
+            _dense_lu_nopivot(d, tol=1e-14)
+
+    def test_random_lu(self, rng):
+        for n in (1, 3, 7):
+            a = rng.normal(size=(n, n)) + n * np.eye(n)
+            d = a.copy()
+            _dense_lu_nopivot(d, tol=0.0)
+            L = np.tril(d, -1) + np.eye(n)
+            U = np.triu(d)
+            np.testing.assert_allclose(L @ U, a, atol=1e-10)
+
+
+class TestFactorize:
+    @pytest.mark.parametrize("ordering", ["amd", "nd", "natural"])
+    def test_lu_product_symmetric(self, ordering, rng):
+        a = random_symmetric_dense(40, 3.0, rng)
+        prob = analyze(from_dense(a), ordering=ordering)
+        fac = factorize(prob.matrix, prob.struct)
+        L, U = fac.unpack_dense()
+        np.testing.assert_allclose(
+            L @ U, prob.matrix.to_dense(), atol=1e-9
+        )
+
+    def test_lu_product_unsymmetric(self, rng):
+        a = random_unsymmetric_dense(45, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        fac = factorize(prob.matrix, prob.struct)
+        L, U = fac.unpack_dense()
+        np.testing.assert_allclose(L @ U, prob.matrix.to_dense(), atol=1e-9)
+
+    def test_symmetric_factor_satisfies_u_equals_dlt(self, rng):
+        # For symmetric A, U = D L^T where D = diag(U).
+        a = random_symmetric_dense(30, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        fac = factorize(prob.matrix, prob.struct)
+        L, U = fac.unpack_dense()
+        D = np.diag(np.diag(U))
+        np.testing.assert_allclose(U, D @ L.T, atol=1e-9)
+
+    def test_views_are_consistent(self, rng):
+        a = random_symmetric_dense(30, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        fac = factorize(prob.matrix, prob.struct)
+        for k in range(fac.nsup):
+            s = prob.struct.width(k)
+            m = len(prob.struct.rows_below[k])
+            assert fac.diag_block(k).shape == (s, s)
+            assert fac.l_panel(k).shape == (m, s)
+            assert fac.u_panel(k).shape == (s, m)
+
+    def test_singular_matrix_raises(self):
+        a = np.ones((4, 4))  # rank 1: zero pivot at step 2
+        prob = analyze(from_dense(a), ordering="natural")
+        with pytest.raises(ZeroPivotError):
+            factorize(prob.matrix, prob.struct, pivot_tol=1e-12)
+
+    def test_1x1_matrix(self):
+        prob = analyze(from_dense(np.array([[3.0]])), ordering="natural")
+        fac = factorize(prob.matrix, prob.struct)
+        assert fac.diag_block(0)[0, 0] == 3.0
+
+
+class TestFlopModels:
+    def test_positive_and_monotone(self, rng):
+        a = random_symmetric_dense(40, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        f = factorization_flops(prob.struct)
+        s = selinv_flops(prob.struct)
+        assert f > 0 and s > 0
+        # A denser matrix of the same size needs more flops.
+        b = random_symmetric_dense(40, 8.0, rng)
+        prob2 = analyze(from_dense(b), ordering="amd")
+        assert factorization_flops(prob2.struct) > f
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=30), st.integers(0, 2**31 - 1))
+def test_factorization_property(n, seed):
+    """A = L U holds for random symmetric diagonally dominant inputs under
+    the default pipeline."""
+    rng = np.random.default_rng(seed)
+    a = random_symmetric_dense(n, 2.5, rng)
+    prob = analyze(from_dense(a), ordering="amd")
+    fac = factorize(prob.matrix, prob.struct)
+    L, U = fac.unpack_dense()
+    assert np.abs(L @ U - prob.matrix.to_dense()).max() < 1e-8

@@ -1,0 +1,127 @@
+"""Tests for Matrix Market I/O."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    analyze,
+    from_dense,
+    read_matrix_market,
+    selinv_sequential,
+    write_matrix_market,
+)
+from tests.conftest import random_symmetric_dense
+
+
+class TestRoundtrip:
+    def test_real_roundtrip(self, tmp_path, rng):
+        a = random_symmetric_dense(20, 3.0, rng)
+        m = from_dense(a)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, m, comment="test matrix")
+        m2 = read_matrix_market(path)
+        np.testing.assert_allclose(m2.to_dense(), a)
+
+    def test_complex_roundtrip(self, tmp_path, rng):
+        a = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        m = from_dense(a)
+        path = tmp_path / "c.mtx"
+        write_matrix_market(path, m)
+        m2 = read_matrix_market(path)
+        np.testing.assert_allclose(m2.to_dense(), a)
+
+    def test_gzip_roundtrip(self, tmp_path, rng):
+        a = random_symmetric_dense(15, 2.0, rng)
+        path = tmp_path / "m.mtx.gz"
+        write_matrix_market(path, from_dense(a))
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("%%MatrixMarket")
+        np.testing.assert_allclose(read_matrix_market(path).to_dense(), a)
+
+
+class TestReaderFormats:
+    def _write(self, tmp_path, text):
+        p = tmp_path / "t.mtx"
+        p.write_text(text)
+        return p
+
+    def test_symmetric_storage_expanded(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% UF-style lower-triangle storage\n"
+            "3 3 4\n"
+            "1 1 2.0\n2 2 2.0\n3 3 2.0\n3 1 -1.0\n",
+        )
+        m = read_matrix_market(p)
+        d = m.to_dense()
+        assert d[2, 0] == -1.0 and d[0, 2] == -1.0
+        assert m.is_structurally_symmetric()
+
+    def test_skew_symmetric(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n",
+        )
+        d = read_matrix_market(p).to_dense()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+    def test_pattern_field(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 1\n2 2\n",
+        )
+        d = read_matrix_market(p).to_dense()
+        np.testing.assert_allclose(d, np.eye(2))
+
+    def test_hermitian(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate complex hermitian\n"
+            "2 2 2\n"
+            "1 1 2.0 0.0\n2 1 1.0 1.0\n",
+        )
+        d = read_matrix_market(p).to_dense()
+        assert d[1, 0] == 1 + 1j and d[0, 1] == 1 - 1j
+
+    def test_rejects_bad_header(self, tmp_path):
+        p = self._write(tmp_path, "garbage\n1 1 0\n")
+        with pytest.raises(ValueError, match="header"):
+            read_matrix_market(p)
+
+    def test_rejects_rectangular(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n2 3 0\n",
+        )
+        with pytest.raises(ValueError, match="square"):
+            read_matrix_market(p)
+
+    def test_rejects_truncated(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+        )
+        with pytest.raises(ValueError, match="expected 2 entries"):
+            read_matrix_market(p)
+
+
+class TestEndToEnd:
+    def test_selinv_on_loaded_matrix(self, tmp_path, rng):
+        """The promised workflow: drop an .mtx file in, run the pipeline."""
+        a = random_symmetric_dense(25, 3.0, rng)
+        path = tmp_path / "user.mtx"
+        write_matrix_market(path, from_dense(a))
+        m = read_matrix_market(path)
+        prob = analyze(m, ordering="amd")
+        _, inv = selinv_sequential(prob)
+        dense_inv = np.linalg.inv(prob.matrix.to_dense())
+        rr, cc = inv.stored_positions()
+        err = np.abs(inv.to_dense_at_structure()[rr, cc] - dense_inv[rr, cc]).max()
+        assert err < 1e-9

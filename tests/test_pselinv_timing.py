@@ -1,0 +1,183 @@
+"""Timing-behaviour tests of the simulated PSelInv (deterministic DES).
+
+The simulator is fully deterministic given its seeds, so these are exact
+regression tests of the *mechanisms* behind the paper's Fig. 8/9 claims,
+exercised on a compact high-fill DG workload with a stressed network
+(slow NICs) where fan-out serialization is the bottleneck:
+
+* tree schemes beat the flat scheme once groups are large;
+* the shifted tree's run-to-run variability under network jitter is no
+  worse than flat's (the paper reports a >4x reduction at scale);
+* larger lookahead windows (more pipelining) never hurt;
+* the modelled v0.7.3 per-message overhead slows the flat scheme down.
+
+The quantitative, paper-shaped versions of these claims live in
+``benchmarks/`` where the medium-scale matrices are affordable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ProcessorGrid, SimulatedPSelInv, iter_plans
+from repro.simulate import NetworkConfig
+from repro.sparse import analyze
+from repro.workloads import dg_hamiltonian
+
+STRESS_NET = dict(
+    injection_bandwidth=3e8,
+    ejection_bandwidth=3e8,
+    bw_intra_node=2e9,
+    bw_intra_group=1e9,
+    bw_inter_group=8e8,
+)
+
+
+@pytest.fixture(scope="module")
+def dg_problem():
+    rng = np.random.default_rng(5)
+    m = dg_hamiltonian((6, 6), 20, neighbor_hops=1, rng=rng)
+    return analyze(m, ordering="nd", max_supernode=8)
+
+
+def run(prob, grid, scheme, *, net=None, plans=None, **kw):
+    cfg = NetworkConfig(**(net or STRESS_NET))
+    return SimulatedPSelInv(
+        prob.struct, grid, scheme, network=cfg, seed=3, plans=plans,
+        lookahead=kw.pop("lookahead", 4), **kw
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def grid_and_plans(dg_problem):
+    grid = ProcessorGrid(12, 12)
+    plans = list(iter_plans(dg_problem.struct, grid))
+    return grid, plans
+
+
+class TestSchemeOrdering:
+    def test_trees_beat_flat_at_scale(self, dg_problem, grid_and_plans):
+        grid, plans = grid_and_plans
+        t = {
+            s: run(dg_problem, grid, s, plans=plans).makespan
+            for s in ("flat", "binary", "shifted")
+        }
+        assert t["binary"] < t["flat"]
+        assert t["shifted"] < t["flat"]
+
+    def test_flat_competitive_on_tiny_grid(self, dg_problem):
+        # Paper §IV-B: at small processor counts the flat scheme is fine
+        # (intra-node copies, no serialization pressure).
+        grid = ProcessorGrid(2, 2)
+        t_flat = run(dg_problem, grid, "flat").makespan
+        t_sh = run(dg_problem, grid, "shifted").makespan
+        assert t_flat <= t_sh * 1.10
+
+    def test_hybrid_interpolates(self, dg_problem, grid_and_plans):
+        grid, plans = grid_and_plans
+        t_flat = run(dg_problem, grid, "flat", plans=plans).makespan
+        t_sh = run(dg_problem, grid, "shifted", plans=plans).makespan
+        t_hy = run(dg_problem, grid, "hybrid", plans=plans).makespan
+        assert t_hy <= t_flat * 1.02
+        assert t_hy <= max(t_flat, t_sh) * 1.02
+
+
+class TestVariability:
+    def _spread(self, prob, grid, plans, scheme, nseeds=5):
+        net = dict(STRESS_NET)
+        net.update(jitter_sigma=0.35, cores_per_node=4, nodes_per_group=8)
+        times = [
+            run(
+                prob, grid, scheme, net=net, plans=plans,
+                jitter_seed=js, placement_seed=js + 100,
+            ).makespan
+            for js in range(nseeds)
+        ]
+        v = np.asarray(times)
+        return v.std() / v.mean()
+
+    def test_shifted_variability_comparable_at_toy_scale(
+        self, dg_problem, grid_and_plans
+    ):
+        # At this toy scale both schemes sit under 1% relative spread and
+        # their ordering flips with the grid; the paper's >4x variance
+        # reduction is a large-scale effect, measured in the Fig. 8
+        # benchmark.  Here we pin that neither scheme is pathological.
+        grid, plans = grid_and_plans
+        rel_flat = self._spread(dg_problem, grid, plans, "flat")
+        rel_sh = self._spread(dg_problem, grid, plans, "shifted")
+        assert rel_sh < 0.05 and rel_flat < 0.05
+        assert rel_sh <= rel_flat * 2.5
+
+    def test_jitter_actually_moves_the_makespan(self, dg_problem, grid_and_plans):
+        grid, plans = grid_and_plans
+        net = dict(STRESS_NET)
+        net.update(jitter_sigma=0.35, cores_per_node=4, nodes_per_group=8)
+        a = run(dg_problem, grid, "flat", net=net, plans=plans, jitter_seed=0).makespan
+        b = run(dg_problem, grid, "flat", net=net, plans=plans, jitter_seed=1).makespan
+        assert a != b
+
+    def test_no_jitter_is_reproducible(self, dg_problem, grid_and_plans):
+        grid, plans = grid_and_plans
+        a = run(dg_problem, grid, "shifted", plans=plans).makespan
+        b = run(dg_problem, grid, "shifted", plans=plans).makespan
+        assert a == b
+
+
+class TestLookaheadAblation:
+    @pytest.mark.parametrize("scheme", ["flat", "shifted"])
+    def test_more_lookahead_never_hurts(self, dg_problem, grid_and_plans, scheme):
+        grid, plans = grid_and_plans
+        t1 = run(dg_problem, grid, scheme, plans=plans, lookahead=1).makespan
+        t4 = run(dg_problem, grid, scheme, plans=plans, lookahead=4).makespan
+        tinf = run(dg_problem, grid, scheme, plans=plans, lookahead=None).makespan
+        assert t4 <= t1 * 1.01
+        assert tinf <= t4 * 1.01
+
+    def test_infinite_lookahead_hides_tree_differences(
+        self, dg_problem, grid_and_plans
+    ):
+        """Ablation: with unbounded buffering every broadcast is issued at
+        t=0 and fully overlapped, so the flat scheme's serialization
+        mostly leaves the critical path -- evidence that the *bounded*
+        window is what exposes tree shape, as on the real machine."""
+        grid, plans = grid_and_plans
+        gap_small = run(
+            dg_problem, grid, "flat", plans=plans, lookahead=2
+        ).makespan - run(dg_problem, grid, "shifted", plans=plans, lookahead=2).makespan
+        gap_inf = run(
+            dg_problem, grid, "flat", plans=plans, lookahead=None
+        ).makespan - run(
+            dg_problem, grid, "shifted", plans=plans, lookahead=None
+        ).makespan
+        assert gap_small > gap_inf
+
+
+class TestV073Model:
+    def test_extra_message_overhead_slows_flat(self, dg_problem, grid_and_plans):
+        grid, plans = grid_and_plans
+        base = run(dg_problem, grid, "flat", plans=plans).makespan
+        v073 = run(
+            dg_problem, grid, "flat", plans=plans,
+            per_message_cpu_overhead=2e-6,
+        ).makespan
+        assert v073 > base
+
+
+class TestBreakdown:
+    def test_comm_ratio_grows_with_processors(self, dg_problem):
+        """Fig. 9 direction: communication/computation grows with P for
+        the flat scheme (27:73 at 256 -> 89:11 at 4096 in the paper)."""
+        ratios = []
+        for p in (2, 8):
+            grid = ProcessorGrid(p, p)
+            res = run(dg_problem, grid, "flat")
+            ratios.append(res.communication_time / res.compute_time)
+        assert ratios[1] > ratios[0]
+
+    def test_compute_time_strong_scales(self, dg_problem):
+        t = []
+        for p in (2, 8):
+            res = run(dg_problem, ProcessorGrid(p, p), "shifted")
+            t.append(res.compute_time)
+        # Mean per-rank compute should shrink roughly like 1/P.
+        assert t[1] < t[0] / 4

@@ -1,0 +1,133 @@
+"""Tests for sequential selected inversion (the Algorithm 1 oracle)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import analyze, from_dense, selinv_sequential
+from repro.sparse.factor import factorize
+from repro.sparse.selinv import gather_ainv_cc, normalize, selected_inversion
+from repro.workloads import grid_laplacian_2d
+from tests.conftest import random_symmetric_dense, random_unsymmetric_dense
+
+
+def check_against_dense(prob, inv, *, tol=1e-9):
+    dense_inv = np.linalg.inv(prob.matrix.to_dense())
+    rr, cc = inv.stored_positions()
+    got = inv.to_dense_at_structure()[rr, cc]
+    want = dense_inv[rr, cc]
+    err = np.abs(got - want).max()
+    assert err < tol, f"max error {err}"
+
+
+class TestSelectedInversionOracle:
+    @pytest.mark.parametrize("ordering", ["amd", "nd", "rcm", "natural"])
+    def test_symmetric_all_orderings(self, ordering, rng):
+        a = random_symmetric_dense(45, 3.5, rng)
+        prob = analyze(from_dense(a), ordering=ordering, validate=True)
+        _, inv = selinv_sequential(prob)
+        check_against_dense(prob, inv)
+
+    def test_unsymmetric(self, rng):
+        a = random_unsymmetric_dense(50, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        _, inv = selinv_sequential(prob)
+        check_against_dense(prob, inv)
+
+    def test_2d_laplacian(self):
+        prob = analyze(grid_laplacian_2d(7, 7), ordering="nd")
+        _, inv = selinv_sequential(prob)
+        check_against_dense(prob, inv)
+
+    def test_tridiagonal(self):
+        n = 20
+        a = np.eye(n) * 4 + np.eye(n, k=1) + np.eye(n, k=-1)
+        prob = analyze(from_dense(a), ordering="natural")
+        _, inv = selinv_sequential(prob)
+        check_against_dense(prob, inv)
+
+    def test_diagonal_matrix(self):
+        prob = analyze(from_dense(np.diag([2.0, 4.0, 8.0])), ordering="natural")
+        _, inv = selinv_sequential(prob)
+        np.testing.assert_allclose(
+            np.diag(inv.to_dense_at_structure()), [0.5, 0.25, 0.125]
+        )
+
+    def test_dense_matrix(self, rng):
+        a = rng.normal(size=(12, 12))
+        a = a @ a.T + 12 * np.eye(12)
+        prob = analyze(from_dense(a), ordering="natural")
+        _, inv = selinv_sequential(prob)
+        check_against_dense(prob, inv)
+
+    def test_symmetric_inverse_is_symmetric(self, rng):
+        a = random_symmetric_dense(30, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        _, inv = selinv_sequential(prob)
+        d = inv.to_dense_at_structure()
+        np.testing.assert_allclose(d, d.T, atol=1e-10)
+
+    def test_relaxed_vs_unrelaxed_agree(self, rng):
+        a = random_symmetric_dense(40, 3.0, rng)
+        m = from_dense(a)
+        p1 = analyze(m, ordering="amd", relax=True)
+        p2 = analyze(m, ordering="amd", relax=False)
+        _, i1 = selinv_sequential(p1)
+        _, i2 = selinv_sequential(p2)
+        # Where both store entries, values agree (both are exact).
+        d1, d2 = i1.to_dense_at_structure(), i2.to_dense_at_structure()
+        rr, cc = i2.stored_positions()
+        np.testing.assert_allclose(d1[rr, cc], d2[rr, cc], atol=1e-9)
+
+
+class TestEntryAccess:
+    def test_entry_matches_dense(self, rng):
+        a = random_symmetric_dense(25, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        _, inv = selinv_sequential(prob)
+        dense_inv = np.linalg.inv(prob.matrix.to_dense())
+        rr, cc = inv.stored_positions()
+        for i, j in list(zip(rr, cc))[::17]:
+            assert abs(inv.entry(int(i), int(j)) - dense_inv[i, j]) < 1e-9
+
+    def test_entry_outside_structure_raises(self):
+        n = 14
+        a = np.eye(n) * 4 + np.eye(n, k=1) + np.eye(n, k=-1)
+        prob = analyze(from_dense(a), ordering="natural")
+        _, inv = selinv_sequential(prob)
+        with pytest.raises(KeyError):
+            inv.entry(0, n - 1)
+
+
+class TestGather:
+    def test_gather_matches_dense_inverse(self, rng):
+        a = random_symmetric_dense(35, 4.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        fac = factorize(prob.matrix, prob.struct)
+        normalize(fac)
+        inv = selected_inversion(fac)
+        dense_inv = np.linalg.inv(prob.matrix.to_dense())
+        for k in range(prob.struct.nsup):
+            rows = prob.struct.rows_below[k]
+            if len(rows) == 0:
+                continue
+            g = gather_ainv_cc(inv, rows)
+            np.testing.assert_allclose(
+                g, dense_inv[np.ix_(rows, rows)], atol=1e-9
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=25), st.integers(0, 2**31 - 1))
+def test_selinv_oracle_property(n, seed):
+    """Selected inversion equals the dense inverse at every stored
+    position, for random symmetric diagonally dominant matrices."""
+    rng = np.random.default_rng(seed)
+    a = random_symmetric_dense(n, 2.5, rng)
+    prob = analyze(from_dense(a), ordering="amd")
+    _, inv = selinv_sequential(prob)
+    dense_inv = np.linalg.inv(prob.matrix.to_dense())
+    rr, cc = inv.stored_positions()
+    err = np.abs(inv.to_dense_at_structure()[rr, cc] - dense_inv[rr, cc]).max()
+    assert err < 1e-8

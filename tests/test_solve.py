@@ -1,0 +1,114 @@
+"""Tests for sparse triangular solves with the supernodal factor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import analyze, from_dense, solve, solve_factored
+from repro.sparse.factor import factorize
+from repro.sparse.selinv import normalize
+from repro.workloads import grid_laplacian_2d
+from tests.conftest import random_symmetric_dense, random_unsymmetric_dense
+
+
+class TestSolveFactored:
+    def test_single_rhs(self, rng):
+        a = random_symmetric_dense(40, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        fac = factorize(prob.matrix, prob.struct)
+        b = rng.normal(size=40)
+        x = solve_factored(fac, b)
+        np.testing.assert_allclose(prob.matrix.to_dense() @ x, b, atol=1e-9)
+
+    def test_multiple_rhs(self, rng):
+        a = random_symmetric_dense(35, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="nd")
+        fac = factorize(prob.matrix, prob.struct)
+        b = rng.normal(size=(35, 4))
+        x = solve_factored(fac, b)
+        np.testing.assert_allclose(prob.matrix.to_dense() @ x, b, atol=1e-9)
+
+    def test_unsymmetric(self, rng):
+        a = random_unsymmetric_dense(30, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        fac = factorize(prob.matrix, prob.struct)
+        b = rng.normal(size=30)
+        x = solve_factored(fac, b)
+        np.testing.assert_allclose(prob.matrix.to_dense() @ x, b, atol=1e-9)
+
+    def test_rejects_normalized_factor(self, rng):
+        a = random_symmetric_dense(20, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        fac = factorize(prob.matrix, prob.struct)
+        normalize(fac)
+        with pytest.raises(ValueError, match="normalized"):
+            solve_factored(fac, np.ones(20))
+
+    def test_rejects_wrong_shape(self, rng):
+        a = random_symmetric_dense(20, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        fac = factorize(prob.matrix, prob.struct)
+        with pytest.raises(ValueError, match="rows"):
+            solve_factored(fac, np.ones(19))
+
+    def test_complex(self, rng):
+        n = 25
+        a = np.zeros((n, n), dtype=complex)
+        for _ in range(60):
+            i, j = rng.integers(0, n, 2)
+            v = rng.normal() + 1j * rng.normal()
+            a[i, j] += v
+            a[j, i] += v
+        a += np.diag(np.abs(a).sum(axis=1) + 1.0)
+        prob = analyze(from_dense(a), ordering="amd")
+        fac = factorize(prob.matrix, prob.struct)
+        b = rng.normal(size=n) + 1j * rng.normal(size=n)
+        x = solve_factored(fac, b)
+        np.testing.assert_allclose(prob.matrix.to_dense() @ x, b, atol=1e-9)
+
+
+class TestSolveOriginalOrder:
+    def test_roundtrip_permutation(self, rng):
+        a = random_symmetric_dense(40, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="nd")
+        b = rng.normal(size=40)
+        x = solve(prob, b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-9)
+
+    def test_laplacian_multi_rhs(self, rng):
+        m = grid_laplacian_2d(8, 8)
+        prob = analyze(m, ordering="nd")
+        b = rng.normal(size=(64, 3))
+        x = solve(prob, b)
+        np.testing.assert_allclose(m.to_dense() @ x, b, atol=1e-9)
+
+
+class TestNormalizeGuards:
+    def test_double_normalize_rejected(self, rng):
+        a = random_symmetric_dense(20, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        fac = factorize(prob.matrix, prob.struct)
+        normalize(fac)
+        with pytest.raises(ValueError, match="already normalized"):
+            normalize(fac)
+
+    def test_selinv_requires_normalize(self, rng):
+        from repro.sparse.selinv import selected_inversion
+
+        a = random_symmetric_dense(20, 3.0, rng)
+        prob = analyze(from_dense(a), ordering="amd")
+        fac = factorize(prob.matrix, prob.struct)
+        with pytest.raises(ValueError, match="normalize"):
+            selected_inversion(fac)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=30), st.integers(0, 2**31 - 1))
+def test_solve_property(n, seed):
+    rng = np.random.default_rng(seed)
+    a = random_symmetric_dense(n, 2.5, rng)
+    prob = analyze(from_dense(a), ordering="amd")
+    b = rng.normal(size=n)
+    x = solve(prob, b)
+    assert np.abs(a @ x - b).max() < 1e-8

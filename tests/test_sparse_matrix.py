@@ -1,0 +1,148 @@
+"""Unit tests for the CSC container (repro.sparse.matrix)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    SparseMatrix,
+    from_coo,
+    from_dense,
+    permute_symmetric,
+    symmetrize_pattern,
+)
+
+
+class TestFromCoo:
+    def test_basic_roundtrip(self):
+        m = from_coo(3, [0, 1, 2], [0, 1, 2], [1.0, 2.0, 3.0])
+        assert m.nnz == 3
+        np.testing.assert_allclose(m.to_dense(), np.diag([1.0, 2.0, 3.0]))
+
+    def test_duplicates_are_summed(self):
+        m = from_coo(2, [0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0])
+        dense = m.to_dense()
+        assert dense[0, 1] == 3.0
+        assert dense[1, 0] == 5.0
+        assert m.nnz == 2
+
+    def test_duplicates_rejected_when_disabled(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            from_coo(2, [0, 0], [1, 1], [1.0, 2.0], sum_duplicates=False)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_coo(2, [0, 2], [0, 0], [1.0, 1.0])
+
+    def test_row_indices_sorted_within_columns(self):
+        m = from_coo(4, [3, 1, 2, 0], [1, 1, 1, 1], [1.0, 2.0, 3.0, 4.0])
+        rows = m.column_rows(1)
+        assert np.array_equal(rows, [0, 1, 2, 3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            from_coo(3, [0, 1], [0], [1.0])
+
+    def test_default_values_are_ones(self):
+        m = from_coo(2, [0, 1], [0, 1])
+        np.testing.assert_allclose(m.data, [1.0, 1.0])
+
+
+class TestFromDense:
+    def test_roundtrip(self, dense_symmetric):
+        m = from_dense(dense_symmetric)
+        np.testing.assert_allclose(m.to_dense(), dense_symmetric)
+
+    def test_tolerance_drops_small_entries(self):
+        a = np.array([[1.0, 1e-12], [0.5, 2.0]])
+        m = from_dense(a, tol=1e-9)
+        assert m.nnz == 3
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            from_dense(np.zeros((2, 3)))
+
+
+class TestStructure:
+    def test_indptr_validation(self):
+        with pytest.raises(ValueError):
+            SparseMatrix(2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_nnz_and_column_access(self):
+        m = from_coo(3, [0, 2, 1], [0, 0, 2], [1.0, 2.0, 3.0])
+        assert m.nnz == 3
+        rows, vals = m.column(0)
+        assert np.array_equal(rows, [0, 2])
+        np.testing.assert_allclose(vals, [1.0, 2.0])
+        assert len(m.column_rows(1)) == 0
+
+    def test_diagonal(self):
+        m = from_coo(3, [0, 1, 2, 0], [0, 1, 2, 1], [5.0, 6.0, 7.0, 1.0])
+        np.testing.assert_allclose(m.diagonal(), [5.0, 6.0, 7.0])
+
+    def test_transpose_involution(self, matrix_symmetric):
+        t = matrix_symmetric.transpose().transpose()
+        assert np.array_equal(t.indptr, matrix_symmetric.indptr)
+        assert np.array_equal(t.indices, matrix_symmetric.indices)
+        np.testing.assert_allclose(t.data, matrix_symmetric.data)
+
+    def test_transpose_values(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        m = from_dense(a)
+        np.testing.assert_allclose(m.transpose().to_dense(), a.T)
+
+    def test_structural_symmetry_detection(self, matrix_symmetric):
+        assert matrix_symmetric.is_structurally_symmetric()
+        m = from_coo(3, [0, 1], [1, 1], [1.0, 1.0])
+        assert not m.is_structurally_symmetric()
+
+    def test_lower_pattern(self):
+        a = np.array([[1.0, 2.0, 0], [3.0, 4.0, 5.0], [0, 6.0, 7.0]])
+        lp = from_dense(a).lower_pattern()
+        dense = lp.to_dense()
+        assert dense[0, 1] == 0 and dense[1, 0] == 1
+        assert dense[1, 2] == 0 and dense[2, 1] == 1
+        np.testing.assert_allclose(np.diag(dense), 1.0)
+
+    def test_to_scipy(self, matrix_symmetric):
+        sp = matrix_symmetric.to_scipy()
+        np.testing.assert_allclose(
+            sp.toarray(), matrix_symmetric.to_dense()
+        )
+
+
+class TestSymmetrize:
+    def test_pattern_becomes_symmetric(self):
+        m = from_coo(3, [0, 2], [1, 0], [1.0, 2.0])
+        s = symmetrize_pattern(m)
+        assert s.is_structurally_symmetric()
+
+    def test_values_preserved_and_zeros_added(self):
+        m = from_coo(2, [0], [1], [3.0])
+        s = symmetrize_pattern(m)
+        dense = s.to_dense()
+        assert dense[0, 1] == 3.0
+        assert dense[1, 0] == 0.0
+        assert s.nnz == 2
+
+    def test_already_symmetric_unchanged(self, matrix_symmetric):
+        s = symmetrize_pattern(matrix_symmetric)
+        np.testing.assert_allclose(s.to_dense(), matrix_symmetric.to_dense())
+
+
+class TestPermute:
+    def test_permute_roundtrip(self, matrix_symmetric, rng):
+        n = matrix_symmetric.n
+        perm = rng.permutation(n)
+        p = permute_symmetric(matrix_symmetric, perm)
+        dense = matrix_symmetric.to_dense()
+        np.testing.assert_allclose(p.to_dense(), dense[np.ix_(perm, perm)])
+
+    def test_identity_permutation(self, matrix_symmetric):
+        perm = np.arange(matrix_symmetric.n)
+        p = permute_symmetric(matrix_symmetric, perm)
+        np.testing.assert_allclose(p.to_dense(), matrix_symmetric.to_dense())
+
+    def test_invalid_permutation_rejected(self, matrix_symmetric):
+        bad = np.zeros(matrix_symmetric.n, dtype=int)
+        with pytest.raises(ValueError, match="permutation"):
+            permute_symmetric(matrix_symmetric, bad)

@@ -1,0 +1,177 @@
+"""Tests for supernode partitioning and the supernodal structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    column_counts,
+    column_structures,
+    elimination_tree,
+    from_dense,
+    permute_symmetric,
+    postorder,
+    supernodal_structure,
+    symmetrize_pattern,
+)
+from repro.sparse.supernodes import (
+    fundamental_partition,
+    relax_partition,
+    split_partition,
+)
+from repro.workloads import grid_laplacian_2d
+from tests.conftest import random_symmetric_dense
+
+
+def prepared(a):
+    m = symmetrize_pattern(a)
+    parent = elimination_tree(m)
+    post = postorder(parent)
+    return permute_symmetric(m, post)
+
+
+class TestFundamentalPartition:
+    def test_dense_matrix_is_one_supernode(self):
+        m = from_dense(np.ones((6, 6)))
+        parent = elimination_tree(m)
+        counts = column_counts(m, parent)
+        sn_ptr = fundamental_partition(parent, counts)
+        assert np.array_equal(sn_ptr, [0, 6])
+
+    def test_diagonal_matrix_is_singletons(self):
+        m = from_dense(np.eye(5))
+        parent = elimination_tree(m)
+        counts = column_counts(m, parent)
+        sn_ptr = fundamental_partition(parent, counts)
+        assert np.array_equal(sn_ptr, np.arange(6))
+
+    def test_partition_is_contiguous_cover(self, rng):
+        m = prepared(from_dense(random_symmetric_dense(40, 3.0, rng)))
+        parent = elimination_tree(m)
+        counts = column_counts(m, parent)
+        sn_ptr = fundamental_partition(parent, counts)
+        assert sn_ptr[0] == 0 and sn_ptr[-1] == m.n
+        assert np.all(np.diff(sn_ptr) >= 1)
+
+    def test_columns_share_structure(self, rng):
+        m = prepared(from_dense(random_symmetric_dense(40, 3.0, rng)))
+        parent = elimination_tree(m)
+        counts = column_counts(m, parent)
+        sn_ptr = fundamental_partition(parent, counts)
+        structs = column_structures(m, parent)
+        for k in range(len(sn_ptr) - 1):
+            fc, lc = sn_ptr[k], sn_ptr[k + 1] - 1
+            below_first = structs[fc][structs[fc] > lc]
+            assert np.array_equal(below_first, structs[lc])
+
+
+class TestSplitPartition:
+    def test_splits_wide_supernodes(self):
+        out = split_partition(np.array([0, 10]), 4)
+        assert np.array_equal(out, [0, 4, 8, 10])
+
+    def test_noop_when_narrow(self):
+        ptr = np.array([0, 2, 5, 6])
+        assert np.array_equal(split_partition(ptr, 8), ptr)
+
+    def test_rejects_bad_max(self):
+        with pytest.raises(ValueError):
+            split_partition(np.array([0, 3]), 0)
+
+
+class TestRelaxPartition:
+    def test_merges_chain_of_singletons(self):
+        # Tridiagonal: all supernodes are pairs/singletons and adjacent in
+        # the tree; relaxation should merge small runs.
+        n = 12
+        a = np.eye(n) * 4 + np.eye(n, k=1) + np.eye(n, k=-1)
+        m = from_dense(a)
+        parent = elimination_tree(m)
+        counts = column_counts(m, parent)
+        fund = fundamental_partition(parent, counts)
+        relaxed = relax_partition(parent, counts, fund, max_size=4, small=4)
+        assert len(relaxed) < len(fund)
+        assert relaxed[0] == 0 and relaxed[-1] == n
+        assert np.all(np.diff(relaxed) <= 4)
+
+    def test_max_size_respected(self, rng):
+        m = prepared(from_dense(random_symmetric_dense(60, 3.0, rng)))
+        parent = elimination_tree(m)
+        counts = column_counts(m, parent)
+        fund = fundamental_partition(parent, counts)
+        relaxed = relax_partition(parent, counts, fund, max_size=6, small=3)
+        # relax never creates supernodes beyond max_size from merging
+        # (pre-existing wider fundamental supernodes are allowed through;
+        # split_partition handles those).
+        widths_f = np.diff(fund)
+        widths_r = np.diff(relaxed)
+        assert widths_r.max() <= max(6, widths_f.max())
+
+
+class TestSupernodalStructure:
+    def test_validate_on_random(self, rng):
+        for _ in range(5):
+            m = prepared(from_dense(random_symmetric_dense(45, 3.0, rng)))
+            s = supernodal_structure(m, max_size=6)
+            s.validate()
+
+    def test_rows_match_column_structures_unrelaxed(self, rng):
+        m = prepared(from_dense(random_symmetric_dense(40, 3.0, rng)))
+        s = supernodal_structure(m, relax=False, max_size=10**9)
+        structs = column_structures(m)
+        for k in range(s.nsup):
+            lc = s.last_col(k)
+            assert np.array_equal(s.rows_below[k], structs[lc])
+
+    def test_relaxed_structure_is_superset(self, rng):
+        m = prepared(from_dense(random_symmetric_dense(40, 3.0, rng)))
+        s = supernodal_structure(m, relax=True, max_size=8)
+        structs = column_structures(m)
+        for k in range(s.nsup):
+            lc = s.last_col(k)
+            assert np.all(np.isin(structs[lc], s.rows_below[k]))
+
+    def test_block_rows_consistency(self, rng):
+        m = prepared(from_dense(random_symmetric_dense(40, 3.0, rng)))
+        s = supernodal_structure(m, max_size=6)
+        for k in range(s.nsup):
+            blocks = s.block_rows[k]
+            assert np.all(blocks > k)
+            total = sum(s.block_row_count(k, int(i)) for i in blocks)
+            assert total == len(s.rows_below[k])
+            for i in blocks:
+                rows = s.block_row_indices(k, int(i))
+                assert len(rows) >= 1
+                assert np.all(s.snode_of[rows] == i)
+
+    def test_factor_nnz_counts(self):
+        m = grid_laplacian_2d(6, 6)
+        m = prepared(m)
+        s = supernodal_structure(m)
+        nnz_l = s.factor_nnz()
+        assert nnz_l >= (m.nnz + m.n) // 2  # at least the lower triangle
+        assert s.factor_nnz_lu() == 2 * nnz_l - m.n
+
+    def test_sparent_is_valid_tree(self, rng):
+        m = prepared(from_dense(random_symmetric_dense(50, 3.0, rng)))
+        s = supernodal_structure(m, max_size=6)
+        for k in range(s.nsup):
+            p = s.sparent[k]
+            assert p == -1 or p > k
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=30),
+    st.integers(0, 2**31 - 1),
+    st.integers(min_value=1, max_value=8),
+)
+def test_structure_invariants_property(n, seed, max_size):
+    """The chain-closure invariant (validate) must hold for any random
+    symmetric pattern and any supernode width cap."""
+    rng = np.random.default_rng(seed)
+    m = prepared(from_dense(random_symmetric_dense(n, 2.5, rng)))
+    s = supernodal_structure(m, max_size=max_size)
+    s.validate()
+    assert np.all(np.diff(s.sn_ptr) <= max_size) or max_size >= n
