@@ -70,9 +70,27 @@ def get_problem(
     return prob
 
 
+def _problem_key(prob: AnalyzedProblem) -> tuple | None:
+    """The ``(workload, scale, max_supernode)`` key ``prob`` was memoized
+    under, or None for problems not created by :func:`get_problem`."""
+    for key, cached in _PROBLEMS.items():
+        if cached is prob:
+            return key
+    return None
+
+
 def get_plans(prob: AnalyzedProblem, grid: ProcessorGrid) -> list:
-    """Memoized communication plans per (problem, grid)."""
-    key = (id(prob), grid.pr, grid.pc)
+    """Memoized communication plans per (problem, grid).
+
+    Keyed on ``(workload, scale, max_supernode, pr, pc)`` -- NOT on
+    ``id(prob)``, which the allocator can reuse after garbage collection
+    and silently serve plans for the wrong problem.  Problems that did
+    not come from :func:`get_problem` are computed fresh, uncached.
+    """
+    pkey = _problem_key(prob)
+    if pkey is None:
+        return list(iter_plans(prob.struct, grid))
+    key = (*pkey, grid.pr, grid.pc)
     plans = _PLANS.get(key)
     if plans is None:
         plans = list(iter_plans(prob.struct, grid))

@@ -1,0 +1,137 @@
+"""Old-vs-new volume-engine throughput (the PR-over-PR perf tracker).
+
+Times the full Table I computation (flat, binary, binomial, shifted over
+the audikw_1 proxy) under both engines:
+
+* ``_communication_volumes_reference`` -- one dict-based tree per
+  collective, per-rank Python loops (the original implementation);
+* ``communication_volumes`` -- the vectorized engine (grouped
+  collectives, cached tree arrays, bulk numpy charging).
+
+Asserts the two produce bit-identical counters, then writes a
+machine-readable ``benchmarks/results/BENCH_volume_engine.json`` so later
+PRs can track the perf trajectory (see docs/performance.md for the
+format).
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.comm.trees import tree_cache_clear, tree_cache_info
+from repro.core import communication_volumes
+from repro.core.volume import _communication_volumes_reference
+
+from _harness import (
+    RESULTS_DIR,
+    SCALE,
+    emit,
+    get_plans,
+    get_problem,
+    run_once,
+    volume_grid,
+)
+
+SCHEMES = ["flat", "binary", "binomial", "shifted"]
+SEED = 20160523
+
+# The vectorized engine must beat the reference by at least this factor
+# (the ISSUE-1 acceptance bar is 5x at paper tier; quick tier is smaller
+# and keeps a margin for noisy CI boxes).
+MIN_SPEEDUP = {"quick": 3.0, "paper": 5.0}
+
+
+def _table1(engine, struct, grid, plans):
+    return {
+        scheme: engine(struct, grid, scheme, seed=SEED, plans=plans)
+        for scheme in SCHEMES
+    }
+
+
+def test_perf_volume_engine(benchmark):
+    prob = get_problem("audikw_1")
+    grid = volume_grid()
+    plans = get_plans(prob, grid)
+    ncoll = sum(1 for plan in plans for _ in plan.collectives())
+
+    # Reference engine: one timed pass (it is the slow path by design).
+    t0 = time.perf_counter()
+    ref_reports = _table1(
+        _communication_volumes_reference, prob.struct, grid, plans
+    )
+    ref_seconds = time.perf_counter() - t0
+
+    # Vectorized engine: timed via the benchmark fixture, then best-of-2
+    # warm repeats for the headline number (the tree cache is part of the
+    # engine, so warm timings are the steady-state figure).
+    tree_cache_clear()
+    t0 = time.perf_counter()
+    vec_reports = run_once(
+        benchmark, lambda: _table1(communication_volumes, prob.struct, grid, plans)
+    )
+    vec_cold_seconds = time.perf_counter() - t0
+    vec_seconds = vec_cold_seconds
+    for _ in range(2):
+        t0 = time.perf_counter()
+        _table1(communication_volumes, prob.struct, grid, plans)
+        vec_seconds = min(vec_seconds, time.perf_counter() - t0)
+
+    # Bit-identical counters -- the speedup is worthless otherwise.
+    for scheme in SCHEMES:
+        ref, vec = ref_reports[scheme], vec_reports[scheme]
+        assert ref.max_degree == vec.max_degree
+        for table_name in ("sent", "received", "messages"):
+            rt, vt = getattr(ref, table_name), getattr(vec, table_name)
+            assert set(rt) == set(vt)
+            for kind in rt:
+                np.testing.assert_array_equal(
+                    rt[kind], vt[kind], err_msg=f"{scheme}/{kind}/{table_name}"
+                )
+
+    speedup = ref_seconds / vec_seconds
+    cache = tree_cache_info()
+    result = {
+        "bench": "table1_colbcast_4schemes",
+        "scale": SCALE,
+        "grid": [grid.pr, grid.pc],
+        "nsup": prob.struct.nsup,
+        "collectives": ncoll,
+        "schemes": SCHEMES,
+        "reference_seconds": round(ref_seconds, 4),
+        "vectorized_seconds_cold": round(vec_cold_seconds, 4),
+        "vectorized_seconds": round(vec_seconds, 4),
+        "speedup": round(speedup, 2),
+        "reference_collectives_per_sec": round(
+            len(SCHEMES) * ncoll / ref_seconds
+        ),
+        "vectorized_collectives_per_sec": round(
+            len(SCHEMES) * ncoll / vec_seconds
+        ),
+        "tree_cache": cache,
+        "unix_time": int(time.time()),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_volume_engine.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+
+    table = Table(
+        f"Volume-engine throughput -- Table I x {len(SCHEMES)} schemes, "
+        f"audikw_1 proxy, {grid.pr}x{grid.pc} grid, {ncoll} collectives "
+        f"({SCALE} tier)",
+        ["engine", "seconds", "collectives/s"],
+    )
+    table.add("reference", f"{ref_seconds:.3f}", result["reference_collectives_per_sec"])
+    table.add("vectorized", f"{vec_seconds:.3f}", result["vectorized_collectives_per_sec"])
+    emit(
+        "bench_perf_volume",
+        table.render()
+        + f"\n  speedup: {speedup:.1f}x (floor {MIN_SPEEDUP[SCALE]}x)"
+        + f"\n  tree cache: {cache['hits']} hits / {cache['misses']} misses",
+    )
+
+    assert speedup >= MIN_SPEEDUP.get(SCALE, 3.0), (
+        f"vectorized engine only {speedup:.1f}x faster than reference"
+    )

@@ -33,14 +33,19 @@ edges reversed, exactly as MPI_Bcast/MPI_Reduce share tree shapes.
 
 from __future__ import annotations
 
+import os
+import struct
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
 
 __all__ = [
     "CommTree",
+    "TreeArrays",
     "flat_tree",
     "binary_tree",
     "binomial_tree",
@@ -48,6 +53,13 @@ __all__ = [
     "random_perm_tree",
     "hybrid_tree",
     "build_tree",
+    "tree_arrays",
+    "canonical_tree_key",
+    "rotation_offset",
+    "permutation_indices",
+    "tree_cache_info",
+    "tree_cache_clear",
+    "tree_cache_resize",
     "derive_seed",
     "TREE_SCHEMES",
 ]
@@ -102,6 +114,30 @@ def _normalize(root: int, participants: Iterable[int]) -> list[int]:
     s.add(int(root))
     s.discard(int(root))
     return sorted(s)
+
+
+@lru_cache(maxsize=1 << 18)
+def rotation_offset(seed: int, n: int) -> int:
+    """Rotation offset of :func:`shifted_binary_tree` for ``n`` non-root
+    participants under ``seed``.
+
+    Memoized so repeated tree builds (the analytic model, the simulator,
+    and scheme sweeps all derive identical per-collective seeds) do not
+    pay for a fresh ``np.random.default_rng`` Generator each time.  The
+    value is exactly ``default_rng(seed).integers(n)``.
+    """
+    if n <= 1:
+        return 0
+    return int(np.random.default_rng(seed).integers(n))
+
+
+@lru_cache(maxsize=1 << 16)
+def permutation_indices(seed: int, n: int) -> tuple[int, ...]:
+    """Memoized full permutation of ``range(n)`` for
+    :func:`random_perm_tree` (exactly ``default_rng(seed).permutation(n)``)."""
+    if n <= 1:
+        return tuple(range(n))
+    return tuple(int(i) for i in np.random.default_rng(seed).permutation(n))
 
 
 def _binary_from_order(order: Sequence[int]) -> CommTree:
@@ -166,8 +202,7 @@ def shifted_binary_tree(
     """
     others = _normalize(root, participants)
     if len(others) > 1:
-        rng = np.random.default_rng(seed)
-        k = int(rng.integers(len(others)))
+        k = rotation_offset(seed, len(others))
         others = others[k:] + others[:k]
     return _binary_from_order([int(root), *others])
 
@@ -208,8 +243,8 @@ def random_perm_tree(
     alternative -- destroys rank locality; kept for the ablation study)."""
     others = _normalize(root, participants)
     if len(others) > 1:
-        rng = np.random.default_rng(seed)
-        others = [others[i] for i in rng.permutation(len(others))]
+        perm = permutation_indices(seed, len(others))
+        others = [others[i] for i in perm]
     return _binary_from_order([int(root), *others])
 
 
@@ -234,6 +269,276 @@ def hybrid_tree(
 TREE_SCHEMES = ("flat", "binary", "shifted", "randperm", "hybrid", "binomial")
 
 
+# ---------------------------------------------------------------------------
+# Array-based fast path
+#
+# Every scheme above is "pick a construction order, then wire edges by
+# *position* in that order".  The per-position shape (child counts and
+# parent positions) therefore depends only on the scheme family and the
+# participant count -- tiny, heavily reused arrays -- while a concrete tree
+# is that shape composed with a rank ordering.  The vectorized volume
+# engine charges whole collectives straight off these arrays without ever
+# materializing the dict-based CommTree.
+# ---------------------------------------------------------------------------
+
+
+def _freeze(a: np.ndarray) -> np.ndarray:
+    a.setflags(write=False)
+    return a
+
+
+@lru_cache(maxsize=4096)
+def _flat_positions(p: int) -> tuple[np.ndarray, np.ndarray]:
+    """(child_counts, parent_pos) per construction-order position, star."""
+    kids = np.zeros(p, dtype=np.int64)
+    par = np.full(p, -1, dtype=np.int64)
+    if p > 1:
+        kids[0] = p - 1
+        par[1:] = 0
+    return _freeze(kids), _freeze(par)
+
+
+@lru_cache(maxsize=4096)
+def _binary_positions(p: int) -> tuple[np.ndarray, np.ndarray]:
+    """Positional shape of the recursive-halving binary tree over ``p``
+    ranks (position 0 = root).  Mirrors :func:`_binary_from_order` with
+    ranks replaced by their position in the construction order."""
+    kids = np.zeros(p, dtype=np.int64)
+    par = np.full(p, -1, dtype=np.int64)
+    stack: list[tuple[int, int, int]] = [(0, 1, p)]  # (owner, lo, hi)
+    while stack:
+        owner, lo, hi = stack.pop()
+        m = hi - lo
+        if m == 0:
+            continue
+        half = (m + 1) // 2
+        for a, b in ((lo, lo + half), (lo + half, hi)):
+            if b > a:
+                par[a] = owner
+                kids[owner] += 1
+                stack.append((a, a + 1, b))
+    return _freeze(kids), _freeze(par)
+
+
+@lru_cache(maxsize=4096)
+def _binomial_positions(p: int) -> tuple[np.ndarray, np.ndarray]:
+    """Positional shape of the binomial tree over ``p`` ranks."""
+    kids = np.zeros(p, dtype=np.int64)
+    par = np.full(p, -1, dtype=np.int64)
+    for r in range(1, p):
+        pr_pos = r - (1 << (r.bit_length() - 1))
+        par[r] = pr_pos
+        kids[pr_pos] += 1
+    return _freeze(kids), _freeze(par)
+
+
+@dataclass(frozen=True)
+class TreeArrays:
+    """Array view of one communication tree (the volume engine's format).
+
+    ``ranks[i]`` is the rank at construction-order position ``i``
+    (``ranks[0]`` is the root); ``parent_pos[i]`` indexes ``ranks``
+    (-1 for the root) and ``child_counts[i]`` is position ``i``'s
+    out-degree.  Arrays are read-only: instances are shared via the LRU
+    cache.
+    """
+
+    root: int
+    ranks: np.ndarray
+    parent_pos: np.ndarray
+    child_counts: np.ndarray
+    # Largest out-degree, precomputed: the volume engine reads it once
+    # per charged group and instances are shared through the cache.
+    max_degree: int
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def to_comm_tree(self) -> CommTree:
+        """Materialize the dict-based :class:`CommTree` view.
+
+        Child lists are filled in ascending construction-order position,
+        which reproduces the append order of the original dict-based
+        builders exactly.
+        """
+        ranks = self.ranks
+        order = tuple(int(r) for r in ranks)
+        parent: dict[int, int] = {}
+        children: dict[int, list[int]] = {r: [] for r in order}
+        ppos = self.parent_pos
+        for i in range(1, len(order)):
+            p = order[ppos[i]]
+            parent[order[i]] = p
+            children[p].append(order[i])
+        return CommTree(
+            root=self.root,
+            order=order,
+            parent=parent,
+            children={r: tuple(c) for r, c in children.items()},
+        )
+
+
+class _TreeLRU:
+    """Small LRU cache for :class:`TreeArrays` with hit/miss counters.
+
+    Keys are *canonical* (see :func:`canonical_tree_key`): shifted trees
+    over the same participant set collapse onto their rotation offset, so
+    distinct collectives that happen to draw the same rotation share one
+    entry.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict[tuple, TreeArrays] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> TreeArrays | None:
+        arrs = self._data.get(key)
+        if arrs is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return arrs
+
+    def put(self, key: tuple, arrs: TreeArrays) -> None:
+        self._data[key] = arrs
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def info(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+
+_TREE_CACHE = _TreeLRU(int(os.environ.get("REPRO_TREE_CACHE_SIZE", 1 << 16)))
+
+
+def tree_cache_info() -> dict[str, int]:
+    """Hit/miss/eviction counters of the shared tree cache."""
+    return _TREE_CACHE.info()
+
+
+def tree_cache_clear() -> None:
+    """Drop all cached trees and reset the counters."""
+    _TREE_CACHE.clear()
+
+
+def tree_cache_resize(maxsize: int) -> None:
+    """Change the cache capacity (evicts LRU entries if shrinking)."""
+    if maxsize < 1:
+        raise ValueError("tree cache maxsize must be positive")
+    _TREE_CACHE.maxsize = int(maxsize)
+    while len(_TREE_CACHE._data) > _TREE_CACHE.maxsize:
+        _TREE_CACHE._data.popitem(last=False)
+        _TREE_CACHE.evictions += 1
+
+
+def _resolve_scheme(scheme: str, n_others: int, hybrid_threshold: int) -> str:
+    """Collapse ``hybrid`` onto the branch it takes for this group size."""
+    if scheme == "hybrid":
+        return "flat" if n_others + 1 <= hybrid_threshold else "shifted"
+    return scheme
+
+
+def canonical_tree_key(
+    scheme: str,
+    root: int,
+    others: tuple[int, ...],
+    seed: int,
+    *,
+    hybrid_threshold: int = 8,
+) -> tuple:
+    """Canonical cache key: two collectives with the same key build the
+    same tree.
+
+    ``others`` is the sorted non-root participant tuple.  For ``shifted``
+    the seed only matters through the rotation offset; for ``randperm``
+    through the permutation; the deterministic schemes drop it entirely.
+    """
+    scheme = _resolve_scheme(scheme, len(others), hybrid_threshold)
+    if scheme == "shifted":
+        return ("shifted", root, others, rotation_offset(seed, len(others)))
+    if scheme == "randperm":
+        return ("randperm", root, others, permutation_indices(seed, len(others)))
+    if scheme in ("flat", "binary", "binomial"):
+        return (scheme, root, others)
+    raise ValueError(
+        f"unknown tree scheme {scheme!r}; expected one of {TREE_SCHEMES}"
+    )
+
+
+def _build_arrays(key: tuple) -> TreeArrays:
+    """Construct the array view for a canonical key (cache miss path)."""
+    scheme, root, others = key[0], key[1], key[2]
+    p = len(others) + 1
+    if scheme == "flat":
+        kids, par = _flat_positions(p)
+        order = (root, *others)
+    elif scheme == "binomial":
+        kids, par = _binomial_positions(p)
+        order = (root, *others)
+    elif scheme == "binary":
+        kids, par = _binary_positions(p)
+        order = (root, *others)
+    elif scheme == "shifted":
+        kids, par = _binary_positions(p)
+        k = key[3]
+        order = (root, *others[k:], *others[:k])
+    else:  # randperm
+        kids, par = _binary_positions(p)
+        perm = key[3]
+        order = (root, *(others[i] for i in perm))
+    ranks = _freeze(np.asarray(order, dtype=np.int64))
+    return TreeArrays(
+        root=root,
+        ranks=ranks,
+        parent_pos=par,
+        child_counts=kids,
+        max_degree=int(kids.max()) if p else 0,
+    )
+
+
+def tree_arrays(
+    scheme: str,
+    root: int,
+    participants: Iterable[int],
+    seed: int = 0,
+    *,
+    hybrid_threshold: int = 8,
+) -> TreeArrays:
+    """Cached array view of one communication tree (any scheme).
+
+    The fast path used by the vectorized volume engine and, via
+    :func:`build_tree`, by every other caller.  Bit-identical in shape to
+    the dict-based scheme constructors (pinned by regression tests).
+    """
+    root = int(root)
+    others = tuple(_normalize(root, participants))
+    key = canonical_tree_key(
+        scheme, root, others, seed, hybrid_threshold=hybrid_threshold
+    )
+    arrs = _TREE_CACHE.get(key)
+    if arrs is None:
+        arrs = _build_arrays(key)
+        _TREE_CACHE.put(key, arrs)
+    return arrs
+
+
 def build_tree(
     scheme: str,
     root: int,
@@ -242,20 +547,15 @@ def build_tree(
     *,
     hybrid_threshold: int = 8,
 ) -> CommTree:
-    """Uniform constructor used by the volume model and the simulator."""
-    if scheme == "flat":
-        return flat_tree(root, participants)
-    if scheme == "binary":
-        return binary_tree(root, participants)
-    if scheme == "shifted":
-        return shifted_binary_tree(root, participants, seed)
-    if scheme == "randperm":
-        return random_perm_tree(root, participants, seed)
-    if scheme == "hybrid":
-        return hybrid_tree(root, participants, seed, threshold=hybrid_threshold)
-    if scheme == "binomial":
-        return binomial_tree(root, participants)
-    raise ValueError(f"unknown tree scheme {scheme!r}; expected one of {TREE_SCHEMES}")
+    """Uniform constructor used by the volume model and the simulator.
+
+    Goes through the shared :func:`tree_arrays` cache and materializes the
+    dict-based :class:`CommTree` view on top (identical trees to the
+    per-scheme constructors above, which remain the spec).
+    """
+    return tree_arrays(
+        scheme, root, participants, seed, hybrid_threshold=hybrid_threshold
+    ).to_comm_tree()
 
 
 def derive_seed(global_seed: int, *components: int) -> int:
@@ -265,5 +565,8 @@ def derive_seed(global_seed: int, *components: int) -> int:
     mirroring how the paper communicates the random seed once during
     preprocessing and then builds identical trees on every rank.
     """
-    buf = np.asarray([global_seed, *components], dtype=np.int64).tobytes()
+    # struct.pack with native order/size produces the identical byte
+    # string np.asarray(..., dtype=np.int64).tobytes() used to, several
+    # times faster (this runs once per collective per preprocessing).
+    buf = struct.pack(f"={len(components) + 1}q", global_seed, *components)
     return zlib.crc32(buf) & 0x7FFFFFFF

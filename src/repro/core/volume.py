@@ -8,18 +8,41 @@ mirror counters).  These are the quantities of the paper's Table I
 ("volume sent during Col-Bcast"), Table II ("volume received during
 Row-Reduce"), the histograms of Fig. 4 and the heat maps of Figs. 5-7.
 
+Two engines compute them:
+
+* :func:`communication_volumes` -- the vectorized production engine.  It
+  groups collectives by ``(kind, root, participants)`` (the paper's §III
+  observation that many supernodes share identical participant sets),
+  resolves tree shapes through the cached array fast path of
+  :mod:`repro.comm.trees`, and charges whole groups of edges with numpy
+  bulk operations.  All counters are int64 -- bytes are integers, so
+  grouping cannot change any result.
+* :func:`_communication_volumes_reference` -- the original
+  one-tree-per-collective implementation, retained verbatim as the
+  differential-testing oracle.
+
 The discrete-event simulator counts the same bytes by actually passing
-messages; ``tests/test_volume_vs_simulation.py`` asserts the two agree
-exactly, which pins the simulator's protocol against this spec.
+messages; ``tests/test_volume_vs_simulation.py`` asserts the analytic
+model and the simulator agree exactly, and
+``tests/test_volume_engine_equivalence.py`` asserts the two engines agree
+bit-for-bit, which together pin the protocol against this spec.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
-from ..comm.trees import build_tree, derive_seed
+from ..comm.trees import (
+    TREE_SCHEMES,
+    _binary_positions,
+    build_tree,
+    derive_seed,
+    rotation_offset,
+    tree_arrays,
+)
 from ..sparse.supernodes import SupernodalStructure
 from .grid import ProcessorGrid
 from .plan import SupernodePlan, iter_plans
@@ -30,6 +53,8 @@ __all__ = [
     "communication_volumes",
     "count_distinct_communicators",
     "volume_summary",
+    "volume_engine_stats",
+    "reset_volume_engine_stats",
 ]
 
 
@@ -70,13 +95,23 @@ def count_distinct_communicators(
     }
 
 
+@lru_cache(maxsize=4096)
+def _encode_key_part(part: str) -> int:
+    return sum(ord(c) << (8 * n) for n, c in enumerate(part[:4]))
+
+
+@lru_cache(maxsize=1 << 20)
 def collective_seed(global_seed: int, key: tuple) -> int:
     """Per-collective tree seed, shared by the analytic model and the
-    simulator so both build identical shifted trees."""
+    simulator so both build identical shifted trees.
+
+    Memoized: scheme sweeps, the DES, and both volume engines all derive
+    the seed of the same ``(global_seed, key)`` pair repeatedly.
+    """
     out: list[int] = []
     for part in key:
         if isinstance(part, str):
-            out.append(sum(ord(c) << (8 * n) for n, c in enumerate(part[:4])))
+            out.append(_encode_key_part(part))
         else:
             out.append(int(part))
     return derive_seed(global_seed, *out)
@@ -84,7 +119,12 @@ def collective_seed(global_seed: int, key: tuple) -> int:
 
 @dataclass
 class VolumeReport:
-    """Per-rank sent/received byte counters split by collective kind."""
+    """Per-rank sent/received byte counters split by collective kind.
+
+    Counters are int64: every charge is a whole number of bytes (or
+    messages), and integer accumulation keeps the DES-equality and
+    engine-equivalence tests exact at any scale.
+    """
 
     grid: ProcessorGrid
     scheme: str
@@ -98,7 +138,7 @@ class VolumeReport:
     max_degree: dict[str, int] = field(default_factory=dict)
 
     def _zeros(self) -> np.ndarray:
-        return np.zeros(self.grid.size)
+        return np.zeros(self.grid.size, dtype=np.int64)
 
     def sent_by(self, kind: str) -> np.ndarray:
         return self.sent.get(kind, self._zeros())
@@ -143,6 +183,11 @@ class VolumeReport:
         """
         if kind == "col-bcast-total":
             return self.grid.volume_heatmap(self.col_bcast_sent())
+        if direction not in ("sent", "received"):
+            raise ValueError(
+                f"unknown heatmap direction {direction!r}; "
+                "expected 'sent' or 'received'"
+            )
         table = self.sent if direction == "sent" else self.received
         return self.grid.volume_heatmap(table.get(kind, self._zeros()))
 
@@ -150,12 +195,33 @@ class VolumeReport:
 def _charge(table: dict[str, np.ndarray], kind: str, size: int):
     arr = table.get(kind)
     if arr is None:
-        arr = np.zeros(size)
+        arr = np.zeros(size, dtype=np.int64)
         table[kind] = arr
     return arr
 
 
-def communication_volumes(
+# -- engine instrumentation (read by tests and the perf benchmarks) ---------
+
+_ENGINE_STATS = {
+    "vectorized_calls": 0,
+    "reference_calls": 0,
+    "collectives": 0,
+    "groups": 0,
+    "point_to_points": 0,
+}
+
+
+def volume_engine_stats() -> dict[str, int]:
+    """Counters of the vectorized engine (calls, collectives, groups)."""
+    return dict(_ENGINE_STATS)
+
+
+def reset_volume_engine_stats() -> None:
+    for k in _ENGINE_STATS:
+        _ENGINE_STATS[k] = 0
+
+
+def _communication_volumes_reference(
     struct: SupernodalStructure,
     grid: ProcessorGrid,
     scheme: str,
@@ -165,14 +231,12 @@ def communication_volumes(
     include_cross: bool = True,
     plans: list[SupernodePlan] | None = None,
 ) -> VolumeReport:
-    """Exact per-rank communication volumes for one tree scheme.
+    """One-tree-per-collective oracle (the original engine).
 
-    ``seed`` is the preprocessing-step seed the shifted/permuted trees
-    derive their per-collective seeds from.  ``plans`` may be passed to
-    amortize plan construction across schemes, and may be either the
-    symmetric plans (:func:`repro.core.plan.iter_plans`) or the
-    unsymmetric ones (:func:`repro.core.plan_unsym.iter_unsym_plans`).
+    Kept verbatim for differential testing of the vectorized engine --
+    do not optimize this function.
     """
+    _ENGINE_STATS["reference_calls"] += 1
     report = VolumeReport(grid=grid, scheme=scheme)
     p = grid.size
     if plans is None:
@@ -221,6 +285,215 @@ def communication_volumes(
                     continue
                 _charge(report.sent, p2p.kind, p)[p2p.src] += p2p.nbytes
                 _charge(report.received, p2p.kind, p)[p2p.dst] += p2p.nbytes
+    return report
+
+
+@lru_cache(maxsize=1024)
+def _binary_circulant(n: int) -> np.ndarray:
+    """``M[k, j]`` = child count of sorted non-root participant ``j`` in a
+    binary tree rotated by offset ``k`` (over ``n`` non-root ranks).
+
+    A rotation only relabels which rank sits at which construction-order
+    position, so the per-rank charge of a whole *group* of shifted
+    collectives is one int64 matvec: ``weights_by_offset @ M``.
+    """
+    kids, _ = _binary_positions(n + 1)
+    k1 = kids[1:]
+    idx = (np.arange(n)[None, :] - np.arange(n)[:, None]) % n
+    m = k1[idx]
+    m.setflags(write=False)
+    return m
+
+
+@lru_cache(maxsize=1024)
+def _binary_root_degree(n: int) -> int:
+    return int(_binary_positions(n + 1)[0][0])
+
+
+@lru_cache(maxsize=1024)
+def _binary_max_degree(n: int) -> int:
+    return int(_binary_positions(n + 1)[0].max())
+
+
+def communication_volumes(
+    struct: SupernodalStructure,
+    grid: ProcessorGrid,
+    scheme: str,
+    *,
+    seed: int = 0,
+    hybrid_threshold: int = 8,
+    include_cross: bool = True,
+    plans: list[SupernodePlan] | None = None,
+) -> VolumeReport:
+    """Exact per-rank communication volumes for one tree scheme.
+
+    ``seed`` is the preprocessing-step seed the shifted/permuted trees
+    derive their per-collective seeds from.  ``plans`` may be passed to
+    amortize plan construction across schemes, and may be either the
+    symmetric plans (:func:`repro.core.plan.iter_plans`) or the
+    unsymmetric ones (:func:`repro.core.plan_unsym.iter_unsym_plans`).
+
+    This is the vectorized engine: collectives are grouped by
+    ``(kind, root, participants)`` and each group is charged in bulk.
+    Counters are bit-identical to
+    :func:`_communication_volumes_reference` (differentially tested) and
+    to the discrete-event simulator.
+    """
+    if scheme not in TREE_SCHEMES:
+        raise ValueError(
+            f"unknown tree scheme {scheme!r}; expected one of {TREE_SCHEMES}"
+        )
+    report = VolumeReport(grid=grid, scheme=scheme)
+    p = grid.size
+    if plans is None:
+        plans = list(iter_plans(struct, grid))
+
+    # Does the resolved scheme of a group depend on the per-collective
+    # seed?  flat/binary/binomial never do; hybrid only above threshold.
+    shifted_like = scheme in ("shifted", "hybrid")
+    perm_like = scheme == "randperm"
+
+    # -- pass 1: group collectives, batch point-to-points -------------------
+    # groups[(kind, root, participants)] =
+    #     [others, total_bytes, count, aux]
+    # where ``others`` is the sorted non-root participant tuple and
+    # ``aux`` collects (offset, nbytes) for shifted-branch groups or
+    # (collective seed, nbytes) for randperm groups.
+    groups: dict[tuple, list] = {}
+    kinds_seen: list[str] = []
+    kinds_set: set[str] = set()
+    p2p_src: dict[str, list[int]] = {}
+    p2p_dst: dict[str, list[int]] = {}
+    p2p_nb: dict[str, list[int]] = {}
+    n_coll = 0
+    for plan in plans:
+        for spec in plan.collectives():
+            n_coll += 1
+            kind = spec.kind
+            if kind not in kinds_set:
+                kinds_set.add(kind)
+                kinds_seen.append(kind)
+            key = (kind, spec.root, spec.participants)
+            g = groups.get(key)
+            if g is None:
+                others = tuple(
+                    r for r in sorted(set(spec.participants)) if r != spec.root
+                )
+                g = groups[key] = [others, 0, 0, None]
+            g[1] += spec.nbytes
+            g[2] += 1
+            n = len(g[0])
+            if n > 1:
+                if shifted_like and (
+                    scheme == "shifted" or n + 1 > hybrid_threshold
+                ):
+                    off = rotation_offset(collective_seed(seed, spec.key), n)
+                    aux = g[3]
+                    if aux is None:
+                        aux = g[3] = []
+                    aux.append((off, spec.nbytes))
+                elif perm_like:
+                    aux = g[3]
+                    if aux is None:
+                        aux = g[3] = []
+                    aux.append((collective_seed(seed, spec.key), spec.nbytes))
+        if include_cross:
+            for p2p in plan.point_to_points():
+                if p2p.src == p2p.dst:
+                    continue
+                kind = p2p.kind
+                lst = p2p_src.get(kind)
+                if lst is None:
+                    lst = p2p_src[kind] = []
+                    p2p_dst[kind] = []
+                    p2p_nb[kind] = []
+                lst.append(p2p.src)
+                p2p_dst[kind].append(p2p.dst)
+                p2p_nb[kind].append(p2p.nbytes)
+
+    # Kind arrays exist for every collective kind encountered, even if all
+    # its groups are singletons -- matching the reference engine exactly.
+    for kind in kinds_seen:
+        _charge(report.sent, kind, p)
+        _charge(report.received, kind, p)
+        _charge(report.messages, kind, p)
+        report.max_degree.setdefault(kind, 0)
+
+    # -- pass 2: charge one group at a time ---------------------------------
+    for (kind, root, _participants), (others, total_bytes, count, aux) in (
+        groups.items()
+    ):
+        n = len(others)
+        if n == 0:
+            continue
+        sent = report.sent[kind]
+        recv = report.received[kind]
+        msgs = report.messages[kind]
+        is_bcast = kind.endswith("bcast")
+        # For a broadcast the kids-weighted side is the sender table and
+        # every non-root receives the payload once; a reduction mirrors it.
+        heavy, light = (sent, recv) if is_bcast else (recv, sent)
+        others_arr = np.asarray(others, dtype=np.intp)
+
+        resolved = scheme
+        if scheme == "hybrid":
+            resolved = "flat" if n + 1 <= hybrid_threshold else "shifted"
+        if n == 1:
+            # Any scheme degenerates to a single root->other edge.
+            resolved = "flat"
+
+        light[others_arr] += total_bytes
+        if not is_bcast:
+            msgs[others_arr] += count
+
+        if resolved == "shifted":
+            kids0 = _binary_root_degree(n)
+            offs = np.fromiter(
+                (o for o, _ in aux), count=len(aux), dtype=np.intp
+            )
+            nbs = np.fromiter(
+                (b for _, b in aux), count=len(aux), dtype=np.int64
+            )
+            w_bytes = np.zeros(n, dtype=np.int64)
+            np.add.at(w_bytes, offs, nbs)
+            m = _binary_circulant(n)
+            heavy[others_arr] += w_bytes @ m
+            heavy[root] += kids0 * total_bytes
+            if is_bcast:
+                w_count = np.bincount(offs, minlength=n).astype(np.int64)
+                msgs[others_arr] += w_count @ m
+                msgs[root] += kids0 * count
+            deg = _binary_max_degree(n)
+        elif resolved == "randperm":
+            deg = _binary_max_degree(n)
+            for cseed, nbytes in aux:
+                arrs = tree_arrays("randperm", root, others, cseed)
+                heavy[arrs.ranks] += arrs.child_counts * nbytes
+                if is_bcast:
+                    msgs[arrs.ranks] += arrs.child_counts
+        else:
+            # flat / binary / binomial: one shared shape for the whole
+            # group, straight from the tree cache.
+            arrs = tree_arrays(resolved, root, others)
+            heavy[arrs.ranks] += arrs.child_counts * total_bytes
+            if is_bcast:
+                msgs[arrs.ranks] += arrs.child_counts * count
+            deg = arrs.max_degree
+        if deg > report.max_degree[kind]:
+            report.max_degree[kind] = deg
+
+    # -- point-to-points in bulk -------------------------------------------
+    for kind, srcs in p2p_src.items():
+        src_arr = np.asarray(srcs, dtype=np.intp)
+        dst_arr = np.asarray(p2p_dst[kind], dtype=np.intp)
+        nb_arr = np.asarray(p2p_nb[kind], dtype=np.int64)
+        np.add.at(_charge(report.sent, kind, p), src_arr, nb_arr)
+        np.add.at(_charge(report.received, kind, p), dst_arr, nb_arr)
+        _ENGINE_STATS["point_to_points"] += len(srcs)
+
+    _ENGINE_STATS["vectorized_calls"] += 1
+    _ENGINE_STATS["collectives"] += n_coll
+    _ENGINE_STATS["groups"] += len(groups)
     return report
 
 

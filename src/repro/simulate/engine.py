@@ -1,11 +1,15 @@
 """Deterministic discrete-event simulation kernel.
 
-A minimal priority-queue event loop: events are ``(time, seq, callback)``
-triples, executed in nondecreasing time order with FIFO tie-breaking via
-the monotonically increasing sequence number.  Determinism matters here --
-the PSelInv experiments compare schemes on identical task streams and
-attribute run-to-run variation *only* to the seeded network-jitter model,
-exactly as the paper attributes it to the physical network.
+A minimal priority-queue event loop: events are ``(time, seq, callback,
+arg)`` slots, executed in nondecreasing time order with FIFO tie-breaking
+via the monotonically increasing sequence number.  Determinism matters
+here -- the PSelInv experiments compare schemes on identical task streams
+and attribute run-to-run variation *only* to the seeded network-jitter
+model, exactly as the paper attributes it to the physical network.
+
+The optional ``arg`` slot exists for the hot path: the machine layer
+schedules millions of per-message callbacks, and passing the message as
+an argument avoids allocating a closure per event.
 """
 
 from __future__ import annotations
@@ -15,18 +19,22 @@ from typing import Any, Callable
 
 __all__ = ["Simulator"]
 
+# Sentinel distinguishing "no argument" from a legitimate None argument.
+_NO_ARG = object()
+
 
 class Simulator:
     """Event loop with a virtual clock.
 
     Use :meth:`schedule` / :meth:`schedule_at` to enqueue callbacks and
-    :meth:`run` to drain the queue.  Callbacks receive no arguments; bind
-    state with closures or ``functools.partial``.
+    :meth:`run` to drain the queue.  Callbacks receive no arguments
+    unless scheduled with an explicit ``arg`` (the zero-allocation hot
+    path); closures and ``functools.partial`` work as before.
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Callable[[], Any]]] = []
+        self._queue: list[tuple[float, int, Callable[..., Any], Any]] = []
         self._seq = 0
         self._events_processed = 0
 
@@ -35,19 +43,23 @@ class Simulator:
         """Number of callbacks executed so far (for perf reporting)."""
         return self._events_processed
 
-    def schedule(self, delay: float, fn: Callable[[], Any]) -> None:
-        """Run ``fn`` at ``now + delay``; ``delay`` must be >= 0."""
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], arg: Any = _NO_ARG
+    ) -> None:
+        """Run ``fn`` (optionally as ``fn(arg)``) at ``now + delay``."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        self.schedule_at(self.now + delay, fn)
+        self.schedule_at(self.now + delay, fn, arg)
 
-    def schedule_at(self, time: float, fn: Callable[[], Any]) -> None:
-        """Run ``fn`` at absolute ``time`` (>= now)."""
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], arg: Any = _NO_ARG
+    ) -> None:
+        """Run ``fn`` (optionally as ``fn(arg)``) at absolute ``time``."""
         if time < self.now:
             raise ValueError(
                 f"cannot schedule in the past (t={time} < now={self.now})"
             )
-        heapq.heappush(self._queue, (time, self._seq, fn))
+        heapq.heappush(self._queue, (time, self._seq, fn, arg))
         self._seq += 1
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
@@ -56,19 +68,25 @@ class Simulator:
         ``until`` stops the clock at a horizon (events beyond it stay
         queued); ``max_events`` guards against runaway simulations.
         """
-        while self._queue:
+        queue = self._queue
+        pop = heapq.heappop
+        no_arg = _NO_ARG
+        while queue:
             if max_events is not None and self._events_processed >= max_events:
                 raise RuntimeError(
                     f"simulation exceeded {max_events} events -- likely a "
                     "protocol bug (deadlock would drain, livelock would not)"
                 )
-            t, _, fn = self._queue[0]
+            t = queue[0][0]
             if until is not None and t > until:
                 break
-            heapq.heappop(self._queue)
+            _, _, fn, arg = pop(queue)
             self.now = t
             self._events_processed += 1
-            fn()
+            if arg is no_arg:
+                fn()
+            else:
+                fn(arg)
         return self.now
 
     def pending(self) -> int:

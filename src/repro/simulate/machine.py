@@ -137,6 +137,11 @@ class CommStats:
 class Machine:
     """The simulated distributed-memory machine."""
 
+    # Below this rank count the per-(src, dst) channel clocks live in a
+    # flat dense list (no tuple allocation / hashing per message); above
+    # it the dense table would waste memory and a dict takes over.
+    _FLAT_CHANNEL_MAX_RANKS = 1024
+
     def __init__(self, nranks: int, network: Network, sim: Simulator | None = None):
         if network.nranks < nranks:
             raise ValueError("network sized for fewer ranks than requested")
@@ -149,7 +154,12 @@ class Machine:
         self._nic_in_free = [0.0] * nranks  # incoming (ejection) port
         self._cpu_free = [0.0] * nranks
         # FIFO channel clocks: last delivery time per (src, dst).
-        self._channel_last: dict[tuple[int, int], float] = {}
+        self._flat_channels = nranks <= self._FLAT_CHANNEL_MAX_RANKS
+        if self._flat_channels:
+            self._channel_last: Any = [0.0] * (nranks * nranks)
+        else:
+            self._channel_last = {}
+        self._recv_overhead = network.config.receive_overhead
         # Message handler per rank: fn(msg) -> None.
         self._handlers: list[Callable[[Message], None] | None] = [None] * nranks
 
@@ -185,28 +195,36 @@ class Machine:
         cost (a rank "sending to itself" is just a local hand-off, and the
         paper's per-rank volume counters only see real messages).
         """
-        msg = Message(src, dst, tag, int(nbytes), category, payload)
+        nbytes = int(nbytes)
+        msg = Message(src, dst, tag, nbytes, category, payload)
         sim = self.sim
         if src == dst:
-            sim.schedule_at(sim.now, lambda: self._deliver(msg))
+            sim.schedule_at(sim.now, self._deliver, msg)
             return
         self.stats.on_send(msg)
         net = self.network
-        inj = net.injection_time(msg.nbytes)
+        inj = net.injection_time(nbytes)
         now = sim.now
         nic = self._nic_free[src]
         start = nic if nic > now else now
         finish = start + inj
         self._nic_free[src] = finish
         self.stats._nic_out_busy[src] += inj
-        arrival = finish + net.transit_time(src, dst, msg.nbytes)
+        arrival = finish + net.transit_time(src, dst, nbytes)
         # Enforce MPI-style non-overtaking per (src, dst) channel.
-        key = (src, dst)
-        last = self._channel_last.get(key, 0.0)
-        if arrival < last:
-            arrival = last
-        self._channel_last[key] = arrival
-        sim.schedule_at(arrival, lambda: self._receive(msg))
+        ch = self._channel_last
+        if self._flat_channels:
+            idx = src * self.nranks + dst
+            if arrival < ch[idx]:
+                arrival = ch[idx]
+            ch[idx] = arrival
+        else:
+            key = (src, dst)
+            last = ch.get(key, 0.0)
+            if arrival < last:
+                arrival = last
+            ch[key] = arrival
+        sim.schedule_at(arrival, self._receive, msg)
 
     def _receive(self, msg: Message) -> None:
         self.stats.on_receive(msg)
@@ -221,12 +239,12 @@ class Machine:
         self._nic_in_free[dst] = nic_done
         self.stats._nic_in_busy[dst] += eject
         # Then receive-side software overhead occupies the receiver's CPU.
-        oh = self.network.config.receive_overhead
+        oh = self._recv_overhead
         cpu = self._cpu_free[dst]
         start = cpu if cpu > nic_done else nic_done
         self._cpu_free[dst] = start + oh
         self.stats._recv_overhead_busy[dst] += oh
-        self.sim.schedule_at(start + oh, lambda: self._deliver(msg))
+        self.sim.schedule_at(start + oh, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:
         fn = self._handlers[msg.dst]

@@ -208,6 +208,106 @@ def test_tree_invariants_property(participants, seed, scheme):
             assert tree.depth() <= int(np.ceil(np.log2(tree.size))) + 1
 
 
+class TestMemoizedRandomness:
+    """The rotation offset / permutation memoization must be invisible:
+    identical draws to constructing a fresh Generator per collective."""
+
+    def test_rotation_offset_matches_fresh_generator(self):
+        from repro.comm.trees import rotation_offset
+
+        for seed in (0, 1, 42, 123, 20160523, 2**31 - 1):
+            for n in (2, 3, 8, 23, 46, 100):
+                expect = int(np.random.default_rng(seed).integers(n))
+                assert rotation_offset(seed, n) == expect
+                # Second (cached) call returns the same value.
+                assert rotation_offset(seed, n) == expect
+
+    def test_rotation_offset_pinned_values(self):
+        # Hard-pinned against numpy's PCG64 stream: a numpy upgrade that
+        # changes these silently changes every shifted-tree experiment.
+        from repro.comm.trees import rotation_offset
+
+        assert rotation_offset(0, 5) == 4
+        assert rotation_offset(42, 8) == 0
+        assert rotation_offset(123, 23) == 0
+        assert rotation_offset(20160523, 46) == 5
+        assert rotation_offset(7, 2) == 1
+
+    def test_permutation_matches_fresh_generator(self):
+        from repro.comm.trees import permutation_indices
+
+        for seed in (0, 99, 20160523):
+            for n in (2, 6, 17):
+                expect = tuple(
+                    int(i) for i in np.random.default_rng(seed).permutation(n)
+                )
+                assert permutation_indices(seed, n) == expect
+
+    def test_permutation_pinned_values(self):
+        from repro.comm.trees import permutation_indices
+
+        assert permutation_indices(99, 6) == (0, 3, 4, 5, 2, 1)
+
+    def test_shifted_tree_shape_pinned(self):
+        # Full regression pin of one shifted tree (construction order and
+        # edges), guarding both the memoization and the array fast path.
+        t = shifted_binary_tree(4, {1, 2, 3, 4, 5, 6}, seed=123)
+        assert t.order == (4, 1, 2, 3, 5, 6)
+        assert t.parent == {1: 4, 5: 4, 6: 5, 2: 1, 3: 1}
+
+    def test_random_perm_tree_shape_pinned(self):
+        t = random_perm_tree(0, set(range(7)), seed=99)
+        assert t.order == (0, 1, 4, 5, 6, 3, 2)
+
+
+class TestArrayFastPath:
+    """build_tree routes through the cached array engine; the per-scheme
+    dict constructors above are the spec it must reproduce exactly."""
+
+    @pytest.mark.parametrize(
+        "scheme", ["flat", "binary", "binomial", "shifted", "randperm", "hybrid"]
+    )
+    def test_build_tree_matches_dict_constructors(self, scheme):
+        import random
+
+        from repro.comm.trees import binomial_tree
+
+        constructors = {
+            "flat": lambda r, p, s: flat_tree(r, p),
+            "binary": lambda r, p, s: binary_tree(r, p),
+            "binomial": lambda r, p, s: binomial_tree(r, p),
+            "shifted": shifted_binary_tree,
+            "randperm": random_perm_tree,
+            "hybrid": lambda r, p, s: hybrid_tree(r, p, s, threshold=8),
+        }
+        rnd = random.Random(1234)
+        for _ in range(60):
+            n = rnd.randint(1, 50)
+            parts = set(rnd.sample(range(300), n))
+            root = rnd.choice(sorted(parts))
+            seed = rnd.randint(0, 2**31 - 1)
+            fast = build_tree(scheme, root, parts, seed)
+            ref = constructors[scheme](root, parts, seed)
+            assert fast.order == ref.order
+            assert fast.parent == ref.parent
+            assert fast.children == ref.children
+
+    def test_tree_arrays_consistent_with_comm_tree(self):
+        from repro.comm.trees import tree_arrays
+
+        arrs = tree_arrays("shifted", 3, range(20), seed=5)
+        tree = arrs.to_comm_tree()
+        assert tree.root == 3
+        assert list(arrs.ranks) == list(tree.order)
+        for i, r in enumerate(tree.order):
+            assert arrs.child_counts[i] == tree.child_count(r)
+            if r != tree.root:
+                assert tree.parent[r] == tree.order[arrs.parent_pos[i]]
+        assert arrs.max_degree == max(
+            tree.child_count(r) for r in tree.ranks()
+        )
+
+
 class TestBinomialTree:
     def test_parent_clears_highest_bit(self):
         from repro.comm import binomial_tree

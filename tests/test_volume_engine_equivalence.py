@@ -1,0 +1,195 @@
+"""The vectorized volume engine must match the reference bit-for-bit.
+
+``communication_volumes`` groups collectives and charges them with bulk
+numpy operations; ``_communication_volumes_reference`` builds one tree
+per collective and loops over ranks in Python.  Any divergence -- in any
+counter, for any scheme, on any participant set -- is a bug in the
+vectorized engine, because the reference is the spec the DES is pinned
+against.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.trees import (
+    TREE_SCHEMES,
+    build_tree,
+    tree_arrays,
+    tree_cache_clear,
+    tree_cache_info,
+    tree_cache_resize,
+)
+from repro.core import ProcessorGrid, communication_volumes
+from repro.core.plan import CollectiveSpec, PointToPointSpec, SupernodePlan
+from repro.core.volume import _communication_volumes_reference
+
+KINDS = ["diag-bcast", "col-bcast", "row-reduce", "col-reduce"]
+
+
+def _plan_from_specs(k, collectives, p2ps):
+    """Wrap raw specs in a SupernodePlan (the engines only iterate)."""
+    return SupernodePlan(
+        k=k,
+        width=1,
+        blocks=[],
+        diag_owner=0,
+        diag_bcast=None,
+        cross_sends=list(p2ps),
+        col_bcasts=list(collectives),
+        row_reduces=[],
+        col_reduce=None,
+        cross_backs=[],
+    )
+
+
+def assert_reports_equal(ref, vec):
+    assert ref.scheme == vec.scheme
+    assert set(ref.sent) == set(vec.sent)
+    assert set(ref.received) == set(vec.received)
+    assert set(ref.messages) == set(vec.messages)
+    assert ref.max_degree == vec.max_degree
+    for table_name in ("sent", "received", "messages"):
+        rt, vt = getattr(ref, table_name), getattr(vec, table_name)
+        for kind, arr in rt.items():
+            assert arr.dtype == np.int64
+            assert vt[kind].dtype == np.int64
+            np.testing.assert_array_equal(
+                arr, vt[kind], err_msg=f"{kind}/{table_name}"
+            )
+
+
+@st.composite
+def synthetic_plans(draw):
+    """A random batch of collectives + point-to-points on a small grid."""
+    size = draw(st.integers(4, 40))
+    n_coll = draw(st.integers(1, 25))
+    collectives = []
+    for i in range(n_coll):
+        kind = draw(st.sampled_from(KINDS))
+        participants = tuple(
+            sorted(
+                draw(
+                    st.sets(
+                        st.integers(0, size - 1), min_size=1, max_size=size
+                    )
+                )
+            )
+        )
+        root = draw(st.sampled_from(participants))
+        nbytes = draw(st.integers(0, 10**6))
+        collectives.append(
+            CollectiveSpec(
+                kind=kind,
+                key=(kind[:2], i),
+                root=root,
+                participants=participants,
+                nbytes=nbytes,
+            )
+        )
+    p2ps = []
+    for i in range(draw(st.integers(0, 8))):
+        src = draw(st.integers(0, size - 1))
+        dst = draw(st.integers(0, size - 1))
+        kind = draw(st.sampled_from(["cross-send", "cross-back"]))
+        p2ps.append(
+            PointToPointSpec(
+                kind=kind,
+                key=("p2p", i),
+                src=src,
+                dst=dst,
+                nbytes=draw(st.integers(0, 10**6)),
+            )
+        )
+    return size, [_plan_from_specs(0, collectives, p2ps)]
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    synthetic_plans(),
+    st.sampled_from(TREE_SCHEMES),
+    st.integers(0, 2**31 - 1),
+    st.booleans(),
+)
+def test_vectorized_matches_reference_property(plans_spec, scheme, seed, cross):
+    size, plans = plans_spec
+    grid = ProcessorGrid(1, size)
+    ref = _communication_volumes_reference(
+        None, grid, scheme, seed=seed, include_cross=cross, plans=plans
+    )
+    vec = communication_volumes(
+        None, grid, scheme, seed=seed, include_cross=cross, plans=plans
+    )
+    assert_reports_equal(ref, vec)
+
+
+@pytest.mark.parametrize("scheme", TREE_SCHEMES)
+@pytest.mark.parametrize("grid_shape", [(4, 4), (3, 5), (1, 1)])
+def test_vectorized_matches_reference_workload(scheme, grid_shape):
+    from repro.sparse import analyze
+    from repro.workloads import make_workload
+
+    prob = analyze(make_workload("audikw_1", "tiny"), ordering="nd")
+    grid = ProcessorGrid(*grid_shape)
+    for seed in (0, 20160523):
+        ref = _communication_volumes_reference(
+            prob.struct, grid, scheme, seed=seed
+        )
+        vec = communication_volumes(prob.struct, grid, scheme, seed=seed)
+        assert_reports_equal(ref, vec)
+
+
+def test_unknown_scheme_rejected_upfront():
+    with pytest.raises(ValueError, match="unknown tree scheme"):
+        communication_volumes(None, ProcessorGrid(2, 2), "bogus", plans=[])
+
+
+def test_heatmap_direction_validated():
+    grid = ProcessorGrid(2, 2)
+    rep = communication_volumes(None, grid, "flat", plans=[])
+    with pytest.raises(ValueError, match="unknown heatmap direction"):
+        rep.heatmap("col-bcast", "snet")
+    # The two valid spellings still work.
+    assert rep.heatmap("col-bcast", "sent").shape == (2, 2)
+    assert rep.heatmap("col-bcast", "received").shape == (2, 2)
+
+
+class TestTreeCacheEviction:
+    """A tiny cache must still return *correct* trees, just more slowly."""
+
+    def teardown_method(self):
+        tree_cache_resize(1 << 16)
+        tree_cache_clear()
+
+    def test_eviction_preserves_correctness(self):
+        tree_cache_clear()
+        tree_cache_resize(4)
+        groups = [set(range(r, r + 9)) for r in range(30)]
+        expected = {}
+        for i, g in enumerate(groups):
+            root = min(g)
+            expected[i] = build_tree("shifted", root, g, seed=i)
+        info = tree_cache_info()
+        assert info["size"] <= 4
+        assert info["evictions"] > 0
+        # Re-request everything (all evicted by now): same trees again.
+        for i, g in enumerate(groups):
+            root = min(g)
+            t = build_tree("shifted", root, g, seed=i)
+            e = expected[i]
+            assert t.order == e.order
+            assert t.parent == e.parent
+            assert t.children == e.children
+
+    def test_cache_hit_returns_identical_arrays(self):
+        tree_cache_clear()
+        a1 = tree_arrays("binary", 0, range(10))
+        a2 = tree_arrays("binary", 0, range(10))
+        assert a1 is a2
+        info = tree_cache_info()
+        assert info["hits"] >= 1
+
+    def test_resize_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            tree_cache_resize(0)
