@@ -19,10 +19,23 @@ Restricted-collective trees (the contribution)::
 Parallel selected inversion on the simulated machine::
 
     from repro.core import ProcessorGrid, run_pselinv, communication_volumes
+
+Communication-correctness static analysis (``repro check``)::
+
+    from repro.check import run_checks, verify_plans
 """
 
-from . import analysis, comm, core, simulate, sparse, workloads
+from . import analysis, check, comm, core, simulate, sparse, workloads
 
 __version__ = "1.0.0"
 
-__all__ = ["analysis", "comm", "core", "simulate", "sparse", "workloads", "__version__"]
+__all__ = [
+    "analysis",
+    "check",
+    "comm",
+    "core",
+    "simulate",
+    "sparse",
+    "workloads",
+    "__version__",
+]

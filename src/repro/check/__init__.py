@@ -1,0 +1,54 @@
+"""Communication-correctness static analysis (``repro check``).
+
+Three passes prove a communication plan well-formed *before* (and, via
+trace validation, *after*) it is run on the simulated machine:
+
+* :mod:`repro.check.plan_lint` -- static plan verifier: participant and
+  payload sanity, tag uniqueness across concurrently-live collectives,
+  and spanning-arborescence proofs for every communication tree
+  (``PLAN0xx``).
+* :mod:`repro.check.hb` -- happens-before DAG construction, wait-for
+  cycle (deadlock) detection, and a DES trace validator / message-race
+  detector (``HB0xx``).
+* :mod:`repro.check.ast_lint` -- AST determinism lint over the package
+  sources: global-state RNG calls, wall-clock reads, unordered-set
+  iteration, unseeded generators (``DET0xx``).
+
+See ``docs/static_analysis.md`` for the diagnostic-code catalogue and
+CLI usage.
+"""
+
+from .ast_lint import lint_file, lint_package, lint_paths, lint_source
+from .diagnostics import CODE_DESCRIPTIONS, Diagnostic, format_diagnostics
+from .hb import (
+    HBGraph,
+    HBModel,
+    build_hb_model,
+    check_deadlock_freedom,
+    diagnose_graph,
+    validate_trace,
+)
+from .plan_lint import lint_tree, liveness_windows, verify_plans
+from .runner import CheckResult, check_workload, run_checks
+
+__all__ = [
+    "CODE_DESCRIPTIONS",
+    "Diagnostic",
+    "format_diagnostics",
+    "lint_file",
+    "lint_package",
+    "lint_paths",
+    "lint_source",
+    "HBGraph",
+    "HBModel",
+    "build_hb_model",
+    "check_deadlock_freedom",
+    "diagnose_graph",
+    "validate_trace",
+    "lint_tree",
+    "liveness_windows",
+    "verify_plans",
+    "CheckResult",
+    "check_workload",
+    "run_checks",
+]

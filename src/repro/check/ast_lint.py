@@ -1,0 +1,348 @@
+"""Pass 3 -- determinism lint (``DET0xx`` diagnostics).
+
+An AST-based linter over ``src/repro`` catching the seeded-randomness
+hazards that would silently break reproducibility.  Per-supernode *seed
+agreement* is what lets every rank build the identical shifted binary
+tree without synchronization (paper §III), and the simulator attributes
+run-to-run variation exclusively to its seeded jitter model -- one stray
+global-state RNG call or wall-clock read invalidates both properties.
+
+Rules
+-----
+``DET001``
+    Call into the stdlib ``random`` module's global state
+    (``random.random()``, ``random.shuffle()``, ...).  Use an explicit
+    ``random.Random(seed)`` instance.
+``DET002``
+    Call into the legacy ``numpy.random`` global state
+    (``np.random.rand()``, ``np.random.seed()``, ...).  Use
+    ``np.random.default_rng(seed)`` / ``np.random.Generator``.
+``DET003``
+    Wall-clock reads (``time.time``, ``time.perf_counter``,
+    ``datetime.now``, ...) anywhere -- simulation code must use the
+    virtual clock -- and ``id()`` / ``hash()`` used in a key position
+    (dict key, subscript index, or a ``seed``-like argument), where they
+    inject interpreter-run-dependent values.
+``DET004``
+    Iterating a raw set (set display, set comprehension or ``set(...)``
+    call) in a ``for`` loop, comprehension, or ``tuple()``/``list()``
+    conversion.  Set order is hash-dependent; wrap in ``sorted(...)``
+    before it feeds tree construction or any ordered output.
+``DET005``
+    Unseeded generator construction: ``np.random.default_rng()`` or
+    ``random.Random()`` without arguments.
+``DET006``
+    Float accumulation into a counter-like target (name matching
+    ``count``/``counter``/``volume``) via ``+=`` of a float literal or a
+    division -- float rounding makes such counters order-sensitive.
+
+The linter is purely syntactic; it sees through the common import idioms
+(``import numpy as np``, ``from numpy import random``, ``from random
+import randint``) but does not do type inference, so a set bound to a
+variable first is not flagged (documented limitation).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable
+
+from .diagnostics import Diagnostic
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "lint_package"]
+
+# numpy.random names that are explicitly-seeded constructions, not global
+# state.
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+# stdlib random module-level functions driving the hidden global Random.
+_STDLIB_RANDOM_FUNCS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "seed",
+    "getrandbits", "randbytes",
+}
+
+_WALLCLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime.datetime", "now"),
+    ("datetime.datetime", "utcnow"),
+}
+
+_COUNTER_NAME = re.compile(r"count|counter|volume", re.IGNORECASE)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Source-level dotted name of an expression (``np.random.rand``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _ImportTable:
+    """Alias -> canonical dotted module/function name."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, str] = {}  # "np" -> "numpy"
+        self.names: dict[str, str] = {}  # "randint" -> "random.randint"
+
+    def visit(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    self.modules[a.asname or a.name.split(".")[0]] = a.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for a in node.names:
+                    self.names[a.asname or a.name] = f"{node.module}.{a.name}"
+
+    def canonical(self, dotted: str) -> str:
+        """Rewrite a source dotted name onto canonical module names."""
+        head, _, rest = dotted.partition(".")
+        if head in self.names:
+            full = self.names[head]
+            return f"{full}.{rest}" if rest else full
+        if head in self.modules:
+            return f"{self.modules[head]}.{rest}" if rest else self.modules[head]
+        return dotted
+
+
+def _parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    table: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            table[child] = node
+    return table
+
+
+def _in_key_context(
+    node: ast.AST, parents: dict[ast.AST, ast.AST], imports: _ImportTable
+) -> bool:
+    """Whether ``node``'s value feeds a dict key, subscript index, or a
+    seed-like argument."""
+    child = node
+    cur = parents.get(node)
+    while cur is not None and not isinstance(cur, ast.stmt):
+        if isinstance(cur, ast.Dict) and child in cur.keys:
+            return True
+        if isinstance(cur, ast.Subscript) and child is cur.slice:
+            return True
+        if isinstance(cur, ast.Call):
+            fn = _dotted(cur.func)
+            fn = imports.canonical(fn) if fn else None
+            if fn is not None and ("seed" in fn.split(".")[-1].lower()):
+                return True
+            for kw in cur.keywords:
+                if kw.arg in ("key", "seed") and kw.value is child:
+                    return True
+        child = cur
+        cur = parents.get(cur)
+    return False
+
+
+def _is_raw_set(node: ast.AST, imports: _ImportTable) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        fn = _dotted(node.func)
+        return fn is not None and imports.canonical(fn) == "set"
+    return False
+
+
+def _has_float_or_div(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+    return False
+
+
+def _target_name(node: ast.AST) -> str | None:
+    """Trailing identifier of an assignment target (unwraps subscripts)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def lint_source(source: str, filename: str = "<string>") -> list[Diagnostic]:
+    """Lint one module's source text; returns all ``DET0xx`` findings."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:  # a lint tool reports, it does not crash
+        return [
+            Diagnostic(
+                "DET003",
+                f"{filename}:{exc.lineno or 0}",
+                f"could not parse module: {exc.msg}",
+            )
+        ]
+    imports = _ImportTable()
+    imports.visit(tree)
+    parents = _parents(tree)
+    out: list[Diagnostic] = []
+
+    def where(node: ast.AST) -> str:
+        return f"{filename}:{getattr(node, 'lineno', 0)}"
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            fn = _dotted(node.func)
+            canon = imports.canonical(fn) if fn else None
+            if canon is not None:
+                head, _, last = canon.rpartition(".")
+                if canon == "numpy.random.default_rng" and not (
+                    node.args or node.keywords
+                ):
+                    out.append(
+                        Diagnostic(
+                            "DET005",
+                            where(node),
+                            "np.random.default_rng() without a seed is "
+                            "entropy-seeded; pass an explicit seed",
+                        )
+                    )
+                elif canon == "random.Random" and not (
+                    node.args or node.keywords
+                ):
+                    out.append(
+                        Diagnostic(
+                            "DET005",
+                            where(node),
+                            "random.Random() without a seed is "
+                            "entropy-seeded; pass an explicit seed",
+                        )
+                    )
+                elif head == "numpy.random" and last not in _NP_RANDOM_ALLOWED:
+                    out.append(
+                        Diagnostic(
+                            "DET002",
+                            where(node),
+                            f"legacy global-state call np.random.{last}(); "
+                            "use an explicit np.random.default_rng(seed)",
+                        )
+                    )
+                elif head == "random" and last in _STDLIB_RANDOM_FUNCS:
+                    out.append(
+                        Diagnostic(
+                            "DET001",
+                            where(node),
+                            f"stdlib global-state call random.{last}(); "
+                            "use an explicit random.Random(seed) instance",
+                        )
+                    )
+                elif (head, last) in _WALLCLOCK:
+                    out.append(
+                        Diagnostic(
+                            "DET003",
+                            where(node),
+                            f"wall-clock read {canon}(); simulation code "
+                            "must use the virtual clock",
+                        )
+                    )
+                elif canon in ("id", "hash") and _in_key_context(
+                    node, parents, imports
+                ):
+                    out.append(
+                        Diagnostic(
+                            "DET003",
+                            where(node),
+                            f"{canon}() used in a key/seed position is "
+                            "interpreter-run dependent",
+                        )
+                    )
+        if isinstance(node, (ast.For, ast.comprehension)):
+            it = node.iter
+            if _is_raw_set(it, imports):
+                out.append(
+                    Diagnostic(
+                        "DET004",
+                        where(it),
+                        "iterating a raw set: order is hash-dependent; "
+                        "wrap in sorted(...)",
+                    )
+                )
+        if isinstance(node, ast.Call):
+            fn = _dotted(node.func)
+            canon = imports.canonical(fn) if fn else None
+            if (
+                canon in ("tuple", "list", "enumerate")
+                and node.args
+                and _is_raw_set(node.args[0], imports)
+            ):
+                out.append(
+                    Diagnostic(
+                        "DET004",
+                        where(node),
+                        f"{canon}() over a raw set: order is "
+                        "hash-dependent; wrap in sorted(...)",
+                    )
+                )
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            name = _target_name(node.target)
+            if (
+                name is not None
+                and _COUNTER_NAME.search(name)
+                and _has_float_or_div(node.value)
+            ):
+                out.append(
+                    Diagnostic(
+                        "DET006",
+                        where(node),
+                        f"float accumulation into counter {name!r} is "
+                        "order-sensitive; accumulate integers",
+                    )
+                )
+    return out
+
+
+def lint_file(path: str | Path) -> list[Diagnostic]:
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Diagnostic]:
+    """Lint every ``.py`` file under the given files/directories."""
+    out: list[Diagnostic] = []
+    for p in paths:
+        p = Path(p)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            out.extend(lint_file(f))
+    return out
+
+
+def lint_package() -> list[Diagnostic]:
+    """Lint the installed ``repro`` package sources (the CI entry point)."""
+    import repro
+
+    return lint_paths([Path(repro.__file__).parent])

@@ -1,0 +1,65 @@
+"""Diagnostic records shared by all three ``repro check`` passes.
+
+Every finding is a :class:`Diagnostic` with a stable code (``PLAN0xx`` for
+the plan verifier, ``HB0xx`` for the happens-before analyzer, ``DET0xx``
+for the determinism lint), a subject locating the defect (a collective
+key, a rank, a ``file:line``), and a human-readable message.  Codes are
+part of the tool's contract: tests and CI pin them, so renumbering is a
+breaking change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Diagnostic", "CODE_DESCRIPTIONS", "format_diagnostics"]
+
+
+# One-line summaries, printed by ``repro check --codes`` and kept in sync
+# with docs/static_analysis.md.
+CODE_DESCRIPTIONS: dict[str, str] = {
+    # -- pass 1: static plan verifier (check/plan_lint.py) ------------------
+    "PLAN001": "collective root is not a participant",
+    "PLAN002": "duplicate participants in a collective",
+    "PLAN003": "participant or endpoint outside the processor grid",
+    "PLAN004": "tag reused across concurrently-live collectives",
+    "PLAN005": "communication tree is not a spanning arborescence",
+    "PLAN006": "non-positive payload size",
+    "PLAN007": "send/reduce payload mismatch for a (K, I) pair",
+    # -- pass 2: happens-before / deadlock analyzer (check/hb.py) -----------
+    "HB001": "wait-for cycle in the happens-before graph (deadlock)",
+    "HB002": "traced message does not exist in the static plan",
+    "HB003": "delivery without (or before) its matching send",
+    "HB004": "per-channel FIFO (non-overtaking) violation",
+    "HB005": "planned message missing or duplicated in the trace",
+    "HB006": "forward sent before its enabling delivery (HB inversion)",
+    # -- pass 3: determinism lint (check/ast_lint.py) -----------------------
+    "DET001": "stdlib random.* global-state call",
+    "DET002": "legacy numpy.random.* global-state call",
+    "DET003": "wall-clock or object-identity value in a deterministic context",
+    "DET004": "iteration over an unordered set feeds construction",
+    "DET005": "unseeded random generator construction",
+    "DET006": "float accumulation into a counter",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a checker pass."""
+
+    code: str  # e.g. "PLAN004"
+    subject: str  # what it is about, e.g. "key ('cb', 3, 5)" or "foo.py:12"
+    message: str  # human-readable explanation
+
+    def __post_init__(self) -> None:
+        if self.code not in CODE_DESCRIPTIONS:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    def __str__(self) -> str:
+        return f"{self.code} {self.subject}: {self.message}"
+
+
+def format_diagnostics(diags: Iterable[Diagnostic]) -> str:
+    """Render diagnostics one per line (empty string when clean)."""
+    return "\n".join(str(d) for d in diags)

@@ -1,0 +1,456 @@
+"""Pass 2 -- happens-before / deadlock analyzer (``HB0xx`` diagnostics).
+
+Builds the static happens-before DAG over all communication events of a
+plan: intra-rank enabling order (a rank forwards a broadcast only after
+receiving it, contributes to a reduction only after its inputs exist) plus
+send->recv edges along every communication tree, plus the cross-supernode
+dataflow edges through which supernode ``K`` consumes ``Ainv`` blocks
+produced by its ancestors.  Two things come out of the model:
+
+* **Deadlock freedom** (:func:`check_deadlock_freedom`): a wait-for cycle
+  in the graph means some set of ranks would block on each other forever;
+  an acyclic graph is a proof that the protocol, as planned, always makes
+  progress (``HB001``).
+
+* **Trace validation** (:func:`validate_trace`): replays a structured
+  event log recorded by :class:`repro.simulate.machine.Machine` (the
+  ``event_log`` hook) and asserts every delivery is consistent with the
+  static model -- every traced message exists in the plan with the right
+  size (``HB002``), no delivery precedes its send (``HB003``), per-channel
+  FIFO order holds (``HB004``), every planned message is observed exactly
+  once (``HB005``, which catches orphaned sends and lost messages), and no
+  forward leaves a rank before the delivery that enables it (``HB006``,
+  the message-race detector for the simulator itself).
+
+Node naming: ``("msg", tag, src, dst)`` is one point-to-point message,
+``("done", tag)`` a reduction completing at its root, ``("fin", K)``
+supernode ``K`` finishing (its ``Ainv(K, K)`` block becoming available).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from ..comm.trees import CommTree, build_tree
+from ..core.grid import ProcessorGrid
+from ..core.plan import CollectiveSpec, SupernodePlan
+from ..core.volume import collective_seed
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "HBGraph",
+    "HBModel",
+    "build_hb_model",
+    "diagnose_graph",
+    "check_deadlock_freedom",
+    "validate_trace",
+]
+
+Node = Hashable
+
+
+class HBGraph:
+    """A directed graph of events; edge ``u -> v`` means ``u`` must
+    complete before ``v`` can start (``v`` waits for ``u``)."""
+
+    def __init__(self) -> None:
+        self.succ: dict[Node, list[Node]] = {}
+
+    def add_node(self, n: Node) -> None:
+        self.succ.setdefault(n, [])
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        self.add_node(v)
+        self.succ.setdefault(u, []).append(v)
+
+    def __len__(self) -> int:
+        return len(self.succ)
+
+    def edge_count(self) -> int:
+        return sum(len(v) for v in self.succ.values())
+
+    def find_cycle(self) -> list[Node] | None:
+        """First wait-for cycle found (as a closed node path), or None."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[Node, int] = {}
+        for start in self.succ:
+            if color.get(start, WHITE) != WHITE:
+                continue
+            color[start] = GRAY
+            stack = [(start, iter(self.succ[start]))]
+            path = [start]
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    c = color.get(nxt, WHITE)
+                    if c == WHITE:
+                        color[nxt] = GRAY
+                        stack.append((nxt, iter(self.succ[nxt])))
+                        path.append(nxt)
+                        advanced = True
+                        break
+                    if c == GRAY:
+                        return path[path.index(nxt) :] + [nxt]
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+                    path.pop()
+        return None
+
+
+class HBModel:
+    """Static happens-before model of one communication plan."""
+
+    def __init__(self) -> None:
+        self.graph = HBGraph()
+        # (tag, src, dst) -> planned payload size in bytes.
+        self.messages: dict[tuple, int] = {}
+
+    def message_edges(self) -> Iterable[tuple[tuple, tuple]]:
+        """HB edges between two *messages*: the target's send is enabled
+        by the source's delivery (used by the trace validator)."""
+        for u, vs in self.graph.succ.items():
+            if not (isinstance(u, tuple) and u and u[0] == "msg"):
+                continue
+            for v in vs:
+                if isinstance(v, tuple) and v and v[0] == "msg":
+                    yield u[1:], v[1:]
+
+
+def _msg(model: HBModel, tag: Any, src: int, dst: int, nbytes: int) -> tuple:
+    node = ("msg", tag, src, dst)
+    model.graph.add_node(node)
+    model.messages[(tag, src, dst)] = int(nbytes)
+    return node
+
+
+def _bcast_delivery_node(
+    spec: CollectiveSpec, tree: CommTree, rank: int, root_enabler: Node | None
+) -> Node | None:
+    """The event whose completion makes ``spec``'s payload available at
+    ``rank``: the message from the tree parent, or -- at the root -- the
+    event that started the broadcast (``None`` for the diagonal
+    broadcast, which starts at supernode release)."""
+    if rank == tree.root:
+        return root_enabler
+    return ("msg", spec.key, tree.parent[rank], rank)
+
+
+def build_hb_model(
+    plans: Sequence[SupernodePlan],
+    grid: ProcessorGrid,
+    scheme: str = "shifted",
+    seed: int = 0,
+    *,
+    hybrid_threshold: int = 8,
+    tree_for: Callable[[CollectiveSpec], CommTree] | None = None,
+) -> HBModel:
+    """Expand ``plans`` into the full happens-before DAG.
+
+    ``tree_for`` overrides tree construction (tests inject malformed
+    trees); the default builds exactly the trees the simulator would.
+    """
+    if tree_for is None:
+
+        def tree_for(spec: CollectiveSpec) -> CommTree:
+            return build_tree(
+                scheme,
+                spec.root,
+                spec.participants,
+                collective_seed(seed, spec.key),
+                hybrid_threshold=hybrid_threshold,
+            )
+
+    model = HBModel()
+    g = model.graph
+    pr, pc = grid.pr, grid.pc
+    plan_by_k = {p.k: p for p in plans}
+    # Producers of Ainv blocks visible across supernodes.
+    rr_done: set[tuple] = set()
+    xb_edge: dict[tuple, tuple[int, int]] = {}
+    for p in plans:
+        for spec in p.row_reduces:
+            rr_done.add(spec.key)
+        for p2p in p.cross_backs:
+            xb_edge[p2p.key] = (p2p.src, p2p.dst)
+
+    def ainv_producer(j: int, i: int) -> Node | None:
+        """Event making Ainv(J, I) available at its consumer rank."""
+        if j > i:
+            key = ("rr", i, j)
+            return ("done", key) if key in rr_done else None
+        if j == i:
+            return ("fin", i) if i in plan_by_k else None
+        key = ("xb", j, i)
+        if key in xb_edge:
+            src, dst = xb_edge[key]
+            return ("msg", key, src, dst)
+        return None
+
+    for plan in plans:
+        k = plan.k
+        fin = ("fin", k)
+        g.add_node(fin)
+        if not plan.blocks:
+            continue
+        kc = k % pc
+
+        # -- diag broadcast: chain along the tree; starts at release. ----
+        db = plan.diag_bcast
+        tdb = tree_for(db) if db is not None else None
+        if db is not None:
+            for r in tdb.order:
+                enab = _bcast_delivery_node(db, tdb, r, None)
+                for c in tdb.children.get(r, ()):
+                    m = _msg(model, db.key, r, c, db.nbytes)
+                    if enab is not None:
+                        g.add_edge(enab, m)
+
+        # -- cross-sends, enabled by the diag payload at the L owner; ----
+        # -- each enables its column broadcast's root sends. -------------
+        cb_by_i = {s.key[2]: s for s in plan.col_bcasts}
+        cs_node: dict[int, Node] = {}
+        for p2p in plan.cross_sends:
+            i = p2p.key[2]
+            m = _msg(model, p2p.key, p2p.src, p2p.dst, p2p.nbytes)
+            cs_node[i] = m
+            if db is not None and p2p.src in set(tdb.order):
+                enab = _bcast_delivery_node(db, tdb, p2p.src, None)
+                if enab is not None:
+                    g.add_edge(enab, m)
+            spec = cb_by_i.get(i)
+            if spec is None:
+                continue
+            tcb = tree_for(spec)
+            for r in tcb.order:
+                enab = _bcast_delivery_node(spec, tcb, r, m)
+                for c in tcb.children.get(r, ()):
+                    mm = _msg(model, spec.key, r, c, spec.nbytes)
+                    if enab is not None:
+                        g.add_edge(enab, mm)
+
+        # -- row reduces: tree-internal joins plus the GEMM inputs -------
+        # -- (col-bcast delivery and the consumed Ainv block). -----------
+        cb_trees = {i: tree_for(s) for i, s in cb_by_i.items()}
+        block_ids = [b.snode for b in plan.blocks]
+        for spec in plan.row_reduces:
+            j = spec.key[2]
+            trr = tree_for(spec)
+            jrow = (j % pr) * pc
+            contributors = {jrow + (i % pc) for i in block_ids}
+            for u in trr.order:
+                if u == trr.root:
+                    out: Node = ("done", spec.key)
+                    g.add_node(out)
+                else:
+                    out = _msg(model, spec.key, u, trr.parent[u], spec.nbytes)
+                for c in trr.children.get(u, ()):
+                    g.add_edge(("msg", spec.key, c, u), out)
+                if u not in contributors:
+                    continue
+                for i in block_ids:
+                    if jrow + (i % pc) != u:
+                        continue
+                    tcb = cb_trees.get(i)
+                    if tcb is not None and u in set(tcb.order):
+                        enab = _bcast_delivery_node(
+                            cb_by_i[i], tcb, u, cs_node.get(i)
+                        )
+                        if enab is not None:
+                            g.add_edge(enab, out)
+                    prod = ainv_producer(j, i)
+                    if prod is not None:
+                        g.add_edge(prod, out)
+
+        # -- cross-backs fire once their row reduce completes. -----------
+        for p2p in plan.cross_backs:
+            j = p2p.key[2]
+            m = _msg(model, p2p.key, p2p.src, p2p.dst, p2p.nbytes)
+            g.add_edge(("done", ("rr", k, j)), m)
+
+        # -- column reduce: contributions gated on local row reduces. ----
+        cr = plan.col_reduce
+        if cr is None:
+            for spec in plan.row_reduces:
+                g.add_edge(("done", spec.key), fin)
+            continue
+        tcr = tree_for(cr)
+        contributors = {(j % pr) * pc + kc for j in block_ids}
+        for u in tcr.order:
+            if u == tcr.root:
+                out = fin
+            else:
+                out = _msg(model, cr.key, u, tcr.parent[u], cr.nbytes)
+            for c in tcr.children.get(u, ()):
+                g.add_edge(("msg", cr.key, c, u), out)
+            if u not in contributors:
+                continue
+            for j in block_ids:
+                if (j % pr) * pc + kc != u:
+                    continue
+                g.add_edge(("done", ("rr", k, j)), out)
+    return model
+
+
+def diagnose_graph(graph: HBGraph) -> list[Diagnostic]:
+    """At most one ``HB001`` diagnostic: the first wait-for cycle."""
+    cycle = graph.find_cycle()
+    if cycle is None:
+        return []
+    shown = " -> ".join(repr(n) for n in cycle[:6])
+    if len(cycle) > 6:
+        shown += f" -> ... ({len(cycle) - 1} events in cycle)"
+    return [
+        Diagnostic(
+            "HB001",
+            f"{len(cycle) - 1}-event cycle",
+            f"wait-for cycle (deadlock): {shown}",
+        )
+    ]
+
+
+def check_deadlock_freedom(
+    plans: Sequence[SupernodePlan],
+    grid: ProcessorGrid,
+    scheme: str = "shifted",
+    seed: int = 0,
+    *,
+    hybrid_threshold: int = 8,
+) -> list[Diagnostic]:
+    """Build the HB model of ``plans`` and prove it acyclic."""
+    model = build_hb_model(
+        plans, grid, scheme, seed, hybrid_threshold=hybrid_threshold
+    )
+    return diagnose_graph(model.graph)
+
+
+def validate_trace(
+    events: Sequence,
+    model: HBModel,
+) -> list[Diagnostic]:
+    """Replay a DES event log against the static HB model.
+
+    ``events`` is the list filled by the :class:`Machine` ``event_log``
+    hook: records with ``kind`` ("send"/"deliver"), ``time``, ``src``,
+    ``dst``, ``tag`` and ``nbytes`` attributes, in simulation order.
+    """
+    out: list[Diagnostic] = []
+    expected = model.messages
+    send_times: dict[tuple, list[float]] = {}
+    deliver_times: dict[tuple, list[float]] = {}
+    channel_sent: dict[tuple[int, int], list[tuple]] = {}
+    channel_fifo_flagged: set[tuple[int, int]] = set()
+
+    for ev in events:
+        key = (ev.tag, ev.src, ev.dst)
+        if ev.kind == "send":
+            planned = expected.get(key)
+            if planned is None:
+                out.append(
+                    Diagnostic(
+                        "HB002",
+                        f"message {ev.tag!r} {ev.src}->{ev.dst}",
+                        "sent but absent from the static plan",
+                    )
+                )
+                continue
+            if ev.nbytes != planned:
+                out.append(
+                    Diagnostic(
+                        "HB002",
+                        f"message {ev.tag!r} {ev.src}->{ev.dst}",
+                        f"sent {ev.nbytes} bytes, plan says {planned}",
+                    )
+                )
+            send_times.setdefault(key, []).append(ev.time)
+            if ev.src != ev.dst:
+                channel_sent.setdefault((ev.src, ev.dst), []).append(key)
+        elif ev.kind == "deliver":
+            if key not in expected:
+                # Unknown messages are reported once, at their send.
+                continue
+            sends = send_times.get(key)
+            if not sends:
+                out.append(
+                    Diagnostic(
+                        "HB003",
+                        f"message {ev.tag!r} {ev.src}->{ev.dst}",
+                        "delivered without a matching send",
+                    )
+                )
+            elif ev.time < sends[0]:
+                out.append(
+                    Diagnostic(
+                        "HB003",
+                        f"message {ev.tag!r} {ev.src}->{ev.dst}",
+                        f"delivered at t={ev.time} before its send at "
+                        f"t={sends[0]}",
+                    )
+                )
+            deliver_times.setdefault(key, []).append(ev.time)
+            chan = (ev.src, ev.dst)
+            if ev.src != ev.dst and chan not in channel_fifo_flagged:
+                queue = channel_sent.get(chan, [])
+                if queue:
+                    head = queue.pop(0)
+                    if head != key:
+                        out.append(
+                            Diagnostic(
+                                "HB004",
+                                f"channel {ev.src}->{ev.dst}",
+                                f"{ev.tag!r} overtook {head[0]!r} "
+                                "(non-overtaking violated)",
+                            )
+                        )
+                        channel_fifo_flagged.add(chan)
+                        if key in queue:
+                            queue.remove(key)
+
+    for key, planned in expected.items():
+        tag, src, dst = key
+        nsent = len(send_times.get(key, ()))
+        ndel = len(deliver_times.get(key, ()))
+        if nsent == 0:
+            out.append(
+                Diagnostic(
+                    "HB005",
+                    f"message {tag!r} {src}->{dst}",
+                    "planned but never sent (orphaned)",
+                )
+            )
+        elif ndel == 0:
+            out.append(
+                Diagnostic(
+                    "HB005",
+                    f"message {tag!r} {src}->{dst}",
+                    "sent but never delivered (lost)",
+                )
+            )
+        elif nsent > 1 or ndel > 1:
+            out.append(
+                Diagnostic(
+                    "HB005",
+                    f"message {tag!r} {src}->{dst}",
+                    f"observed {nsent} sends / {ndel} deliveries, expected 1",
+                )
+            )
+
+    # HB consistency: a message enabled by another's delivery must not be
+    # sent before that delivery happens (same virtual instant is fine --
+    # handler callbacks post sends at the delivery time).
+    for enab, dep in model.message_edges():
+        t_del = deliver_times.get(enab)
+        t_snd = send_times.get(dep)
+        if not t_del or not t_snd:
+            continue  # already reported as HB005
+        if t_snd[0] < t_del[0]:
+            out.append(
+                Diagnostic(
+                    "HB006",
+                    f"message {dep[0]!r} {dep[1]}->{dep[2]}",
+                    f"sent at t={t_snd[0]} before its enabling delivery "
+                    f"{enab[0]!r} -> rank {enab[2]} at t={t_del[0]}",
+                )
+            )
+    return out

@@ -1,0 +1,327 @@
+"""Pass 1 -- static plan verifier (``PLAN0xx`` diagnostics).
+
+Proves, without running the discrete-event simulator, that the output of
+:func:`repro.core.plan.iter_plans` is a well-formed communication plan:
+
+* every :class:`~repro.core.plan.CollectiveSpec` has its root among the
+  participants, no duplicate participants, and all endpoints on-grid
+  (``PLAN001``-``PLAN003``);
+* message tags are unique across all *concurrently-live* collectives,
+  where liveness windows are computed from the supernode dependency
+  order (``PLAN004``, see :func:`liveness_windows`);
+* the communication tree each collective would route over (built through
+  :func:`repro.comm.trees.build_tree`, exactly as the simulator and the
+  analytic volume model build it) is a spanning arborescence of its
+  participant set: no duplicate parents, no self-edges, no unreachable
+  ranks (``PLAN005``);
+* payload sizes are positive and consistent between the send side
+  (cross-send / col-bcast) and the reduce side (row-reduce / cross-back)
+  of each ``(K, I)`` pair, and between the diagonal broadcast and the
+  column reduce (``PLAN006``-``PLAN007``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..comm.trees import CommTree, build_tree
+from ..core.grid import ProcessorGrid
+from ..core.plan import SupernodePlan
+from ..core.volume import collective_seed
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "liveness_windows",
+    "lint_tree",
+    "verify_plans",
+]
+
+
+def liveness_windows(plans: Sequence[SupernodePlan]) -> dict[int, tuple[int, int]]:
+    """Conservative liveness interval of each supernode's collectives.
+
+    The runtime releases supernodes in descending index order and keeps a
+    supernode's collectives alive until its column reduce completes,
+    which cannot happen before every supernode it structurally depends on
+    (the ancestors appearing in its block rows) has completed.  On a
+    virtual unit-step timeline where releasing and completing each take
+    one step, supernode ``K`` is live over::
+
+        [release(K), finish(K)]
+        release(K) = (#plans - 1) - position of K in descending order
+        finish(K)  = 1 + max(release(K), finish(A) for ancestors A)
+
+    Two collectives may be in flight simultaneously iff their supernodes'
+    intervals overlap.  This is an approximation of true asynchronous
+    execution (which gives no rate guarantees), but it is exactly the
+    dependency order the paper's preprocessing step relies on, and it is
+    what makes the duplicate-tag check (``PLAN004``) meaningful instead
+    of demanding global uniqueness.
+    """
+    order = sorted((p.k for p in plans), reverse=True)
+    release = {k: step for step, k in enumerate(order)}
+    deps: dict[int, list[int]] = {
+        p.k: [b.snode for b in p.blocks] for p in plans
+    }
+    finish: dict[int, int] = {}
+    for k in order:  # descending: dependencies (larger k) already done
+        bound = release[k]
+        for d in deps[k]:
+            if d in finish:
+                bound = max(bound, finish[d])
+        finish[k] = bound + 1
+    return {k: (release[k], finish[k]) for k in release}
+
+
+def _windows_overlap(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def lint_tree(
+    tree: CommTree, participants: Iterable[int] | None = None
+) -> Diagnostic | None:
+    """Check that ``tree`` is a spanning arborescence (``PLAN005``).
+
+    Returns the single most fundamental defect found, or ``None`` for a
+    well-formed tree.  ``participants`` (when given) is the set the tree
+    must span exactly.
+    """
+    subject = f"tree rooted at {tree.root}"
+    ranks = set(tree.order)
+    if len(ranks) != len(tree.order):
+        return Diagnostic("PLAN005", subject, "duplicate ranks in tree order")
+    if tree.root not in ranks:
+        return Diagnostic("PLAN005", subject, "root is not a tree node")
+    if participants is not None:
+        expected = set(int(p) for p in participants)
+        if ranks != expected:
+            missing = sorted(expected - ranks)
+            extra = sorted(ranks - expected)
+            return Diagnostic(
+                "PLAN005",
+                subject,
+                f"tree does not span the participant set "
+                f"(missing {missing}, extra {extra})",
+            )
+    if tree.root in tree.parent:
+        return Diagnostic("PLAN005", subject, "root has a parent edge")
+    for r in tree.order:
+        if r == tree.root:
+            continue
+        if r not in tree.parent:
+            return Diagnostic(
+                "PLAN005", subject, f"rank {r} is orphaned (no parent edge)"
+            )
+        p = tree.parent[r]
+        if p == r:
+            return Diagnostic("PLAN005", subject, f"rank {r} is its own parent")
+        if p not in ranks:
+            return Diagnostic(
+                "PLAN005", subject, f"rank {r}'s parent {p} is not a tree node"
+            )
+    # Child lists must agree with the parent map: every rank appears as a
+    # child of exactly its parent, and nobody is listed twice (a rank
+    # listed under two parents would receive the payload twice).
+    child_total = 0
+    seen_children: set[int] = set()
+    for owner, kids in tree.children.items():
+        for c in kids:
+            child_total += 1
+            if c in seen_children:
+                return Diagnostic(
+                    "PLAN005", subject, f"rank {c} has duplicate parents"
+                )
+            seen_children.add(c)
+            if tree.parent.get(c) != owner:
+                return Diagnostic(
+                    "PLAN005",
+                    subject,
+                    f"child edge {owner}->{c} contradicts parent map",
+                )
+    if child_total != len(tree.order) - 1:
+        return Diagnostic(
+            "PLAN005",
+            subject,
+            f"{child_total} child edges for {len(tree.order)} ranks "
+            "(a spanning arborescence needs exactly n-1)",
+        )
+    # Reachability: walking child edges from the root must visit everyone
+    # (catches cycles among non-root ranks, which the parent checks above
+    # cannot see).
+    reached = {tree.root}
+    frontier = [tree.root]
+    while frontier:
+        r = frontier.pop()
+        for c in tree.children.get(r, ()):
+            if c not in reached:
+                reached.add(c)
+                frontier.append(c)
+    if reached != ranks:
+        unreachable = sorted(ranks - reached)
+        return Diagnostic(
+            "PLAN005", subject, f"ranks {unreachable} unreachable from the root"
+        )
+    return None
+
+
+def _check_spec_shape(
+    spec, nranks: int, out: list[Diagnostic]
+) -> None:
+    """PLAN001-PLAN003 and PLAN006 for one collective spec."""
+    subject = f"key {spec.key!r}"
+    parts = spec.participants
+    if spec.root not in parts:
+        out.append(
+            Diagnostic(
+                "PLAN001",
+                subject,
+                f"root {spec.root} is not among participants {parts}",
+            )
+        )
+    if len(set(parts)) != len(parts):
+        dupes = sorted({p for p in parts if parts.count(p) > 1})
+        out.append(
+            Diagnostic("PLAN002", subject, f"duplicate participants {dupes}")
+        )
+    off = [p for p in sorted(set(parts)) if not (0 <= p < nranks)]
+    if off:
+        out.append(
+            Diagnostic(
+                "PLAN003",
+                subject,
+                f"participants {off} outside grid of {nranks} ranks",
+            )
+        )
+    if spec.nbytes <= 0:
+        out.append(
+            Diagnostic(
+                "PLAN006", subject, f"payload of {spec.nbytes} bytes"
+            )
+        )
+
+
+def _check_p2p_shape(p2p, nranks: int, out: list[Diagnostic]) -> None:
+    subject = f"key {p2p.key!r}"
+    off = [e for e in sorted({p2p.src, p2p.dst}) if not (0 <= e < nranks)]
+    if off:
+        out.append(
+            Diagnostic(
+                "PLAN003",
+                subject,
+                f"endpoints {off} outside grid of {nranks} ranks",
+            )
+        )
+    if p2p.nbytes <= 0:
+        out.append(
+            Diagnostic("PLAN006", subject, f"payload of {p2p.nbytes} bytes")
+        )
+
+
+def _check_pair_consistency(plan: SupernodePlan, out: list[Diagnostic]) -> None:
+    """PLAN007: the bytes of each (K, I) pair must agree on both sides."""
+    k = plan.k
+    cb = {s.key[2]: s.nbytes for s in plan.col_bcasts}
+    rr = {s.key[2]: s.nbytes for s in plan.row_reduces}
+    cs = {p.key[2]: p.nbytes for p in plan.cross_sends}
+    xb = {p.key[2]: p.nbytes for p in plan.cross_backs}
+    for i, nb in cb.items():
+        if i in cs and cs[i] != nb:
+            out.append(
+                Diagnostic(
+                    "PLAN007",
+                    f"supernode {k} block {i}",
+                    f"cross-send carries {cs[i]} bytes but col-bcast {nb}",
+                )
+            )
+        if i in rr and rr[i] != nb:
+            out.append(
+                Diagnostic(
+                    "PLAN007",
+                    f"supernode {k} block {i}",
+                    f"col-bcast sends {nb} bytes but row-reduce gathers {rr[i]}",
+                )
+            )
+    for j, nb in rr.items():
+        if j in xb and xb[j] != nb:
+            out.append(
+                Diagnostic(
+                    "PLAN007",
+                    f"supernode {k} block {j}",
+                    f"row-reduce gathers {nb} bytes but cross-back carries {xb[j]}",
+                )
+            )
+    if plan.diag_bcast is not None and plan.col_reduce is not None:
+        db, cr = plan.diag_bcast.nbytes, plan.col_reduce.nbytes
+        if db != cr:
+            out.append(
+                Diagnostic(
+                    "PLAN007",
+                    f"supernode {k}",
+                    f"diag-bcast sends {db} bytes but col-reduce gathers {cr}",
+                )
+            )
+
+
+def verify_plans(
+    plans: Sequence[SupernodePlan],
+    grid: ProcessorGrid,
+    scheme: str = "shifted",
+    seed: int = 0,
+    *,
+    hybrid_threshold: int = 8,
+    check_trees: bool = True,
+) -> list[Diagnostic]:
+    """Run the full static plan verification; returns all diagnostics.
+
+    ``scheme`` / ``seed`` select which communication trees to verify --
+    the same :func:`~repro.comm.trees.build_tree` +
+    :func:`~repro.core.volume.collective_seed` path the simulator and the
+    analytic model use, so a clean pass certifies exactly the trees a run
+    would route over.  ``check_trees=False`` skips tree construction for
+    a fast shape-only pass.
+    """
+    out: list[Diagnostic] = []
+    nranks = grid.size
+    tag_sites: dict[tuple, list[int]] = {}
+    for plan in plans:
+        for spec in plan.collectives():
+            _check_spec_shape(spec, nranks, out)
+            tag_sites.setdefault(spec.key, []).append(plan.k)
+            if check_trees:
+                tree = build_tree(
+                    scheme,
+                    spec.root,
+                    spec.participants,
+                    collective_seed(seed, spec.key),
+                    hybrid_threshold=hybrid_threshold,
+                )
+                d = lint_tree(tree, spec.participants)
+                if d is not None:
+                    out.append(
+                        Diagnostic("PLAN005", f"key {spec.key!r}", d.message)
+                    )
+        for p2p in plan.point_to_points():
+            _check_p2p_shape(p2p, nranks, out)
+            tag_sites.setdefault(p2p.key, []).append(plan.k)
+        _check_pair_consistency(plan, out)
+
+    windows = liveness_windows(plans)
+    for key, sites in tag_sites.items():
+        if len(sites) < 2:
+            continue
+        # A tag may legitimately be reused once its previous holder is
+        # provably retired; flag only overlapping liveness windows.
+        clashing: set[int] = set()
+        for idx, k in enumerate(sites):
+            for k2 in sites[idx + 1 :]:
+                if _windows_overlap(windows[k], windows[k2]):
+                    clashing.update((k, k2))
+        if clashing:
+            out.append(
+                Diagnostic(
+                    "PLAN004",
+                    f"key {key!r}",
+                    f"tag live concurrently in supernodes {sorted(clashing)}",
+                )
+            )
+    return out

@@ -1,0 +1,140 @@
+"""Orchestrates the three ``repro check`` passes over workloads.
+
+The CLI and CI entry point: resolves a workload name (every entry of
+:mod:`repro.workloads.registry`, plus the ``laplacian`` quick-tier alias
+-- a small 2D grid Laplacian used for the full-trace validation run),
+builds its communication plans, and runs
+
+1. the static plan verifier (:mod:`repro.check.plan_lint`),
+2. the happens-before deadlock proof, optionally followed by a full
+   discrete-event run whose structured event log is replayed against the
+   static model (:mod:`repro.check.hb`), and
+3. the AST determinism lint over the package sources
+   (:mod:`repro.check.ast_lint`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .diagnostics import Diagnostic
+from . import ast_lint, hb, plan_lint
+
+__all__ = ["CheckResult", "check_workload", "run_checks", "QUICK_WORKLOAD"]
+
+# The quick-tier alias: small enough to run the full DES under trace
+# validation for every scheme in seconds.
+QUICK_WORKLOAD = "laplacian"
+
+
+@dataclass
+class CheckResult:
+    """Findings of one checker invocation, grouped by pass."""
+
+    plan: list[Diagnostic] = field(default_factory=list)
+    hb: list[Diagnostic] = field(default_factory=list)
+    det: list[Diagnostic] = field(default_factory=list)
+    # (workload, scheme) pairs whose DES trace was replayed and validated.
+    traced: list[tuple[str, str]] = field(default_factory=list)
+
+    def all(self) -> list[Diagnostic]:
+        return [*self.plan, *self.hb, *self.det]
+
+    @property
+    def clean(self) -> bool:
+        return not (self.plan or self.hb or self.det)
+
+
+def _analyze_workload(name: str, scale: str, max_supernode: int):
+    from ..sparse import analyze
+    from ..workloads import grid_laplacian_2d, make_workload
+
+    if name == QUICK_WORKLOAD:
+        import numpy as np
+
+        matrix = grid_laplacian_2d(12, 12, rng=np.random.default_rng(0))
+    else:
+        matrix = make_workload(name, scale)
+    return analyze(matrix, ordering="nd", max_supernode=max_supernode)
+
+
+def check_workload(
+    name: str,
+    *,
+    scale: str = "tiny",
+    grid_side: int = 4,
+    schemes: tuple[str, ...] = ("flat", "binary", "shifted"),
+    seed: int = 20160523,
+    max_supernode: int = 8,
+    trace: bool = False,
+    result: CheckResult | None = None,
+) -> CheckResult:
+    """Run passes 1 and 2 for one workload (pass 3 is source-level).
+
+    With ``trace=True`` a symbolic DES run is executed per scheme with
+    the machine's event log enabled, and the log is validated against the
+    static happens-before model.
+    """
+    from ..core import ProcessorGrid, SimulatedPSelInv, iter_plans
+
+    res = result if result is not None else CheckResult()
+    prob = _analyze_workload(name, scale, max_supernode)
+    grid = ProcessorGrid(grid_side, grid_side)
+    plans = list(iter_plans(prob.struct, grid))
+    for scheme in schemes:
+        res.plan.extend(
+            plan_lint.verify_plans(plans, grid, scheme, seed)
+        )
+        model = hb.build_hb_model(plans, grid, scheme, seed)
+        res.hb.extend(hb.diagnose_graph(model.graph))
+        if trace:
+            log: list = []
+            SimulatedPSelInv(
+                prob.struct,
+                grid,
+                scheme,
+                seed=seed,
+                plans=plans,
+                event_log=log,
+            ).run()
+            res.hb.extend(hb.validate_trace(log, model))
+            res.traced.append((name, scheme))
+    return res
+
+
+def run_checks(
+    workload: str = "all",
+    *,
+    scale: str = "tiny",
+    grid_side: int = 4,
+    schemes: tuple[str, ...] = ("flat", "binary", "shifted"),
+    seed: int = 20160523,
+    trace: bool | None = None,
+) -> CheckResult:
+    """The full ``repro check`` entry point.
+
+    ``workload="all"`` covers every registry entry at ``scale`` plus the
+    quick-tier ``laplacian`` alias.  Trace validation defaults to on for
+    the quick alias and off for the (larger) registry workloads; pass
+    ``trace=True`` to force it everywhere.
+    """
+    from ..workloads import workload_names
+
+    if workload == "all":
+        names = [*workload_names(), QUICK_WORKLOAD]
+    else:
+        names = [workload]
+    res = CheckResult()
+    for name in names:
+        do_trace = trace if trace is not None else name == QUICK_WORKLOAD
+        check_workload(
+            name,
+            scale=scale,
+            grid_side=grid_side,
+            schemes=schemes,
+            seed=seed,
+            trace=do_trace,
+            result=res,
+        )
+    res.det.extend(ast_lint.lint_package())
+    return res

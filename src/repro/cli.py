@@ -8,6 +8,8 @@ Commands map one-to-one onto the paper's experiments::
     python -m repro heatmap audikw_1 -g 8     # Fig. 5 ASCII heat maps
     python -m repro scaling -g 16 -r 2        # Fig. 8 mini strong scaling
     python -m repro selinv                    # quick numeric demo + check
+    python -m repro check                     # communication-correctness
+                                              # analyzer (all workloads)
 
 All commands run on the simulated machine; nothing requires MPI.
 """
@@ -178,6 +180,38 @@ def _cmd_selinv(args) -> int:
     return 0 if max(err, perr) < 1e-9 else 1
 
 
+def _cmd_check(args) -> int:
+    from .check import CODE_DESCRIPTIONS, run_checks
+
+    if args.codes:
+        for code, desc in CODE_DESCRIPTIONS.items():
+            print(f"{code}  {desc}")
+        return 0
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    res = run_checks(
+        args.workload,
+        scale=args.scale,
+        grid_side=args.grid,
+        schemes=schemes,
+        seed=args.seed,
+        trace=True if args.trace else None,
+    )
+    for d in res.all():
+        print(d)
+    npass = {"plan": len(res.plan), "hb": len(res.hb), "det": len(res.det)}
+    traced = ", ".join(f"{w}/{s}" for w, s in res.traced) or "none"
+    print(
+        f"plan verifier: {npass['plan']} finding(s) | "
+        f"happens-before: {npass['hb']} | determinism lint: {npass['det']}"
+    )
+    print(f"traces validated: {traced}")
+    if res.clean:
+        print("check: clean")
+        return 0
+    print(f"check: {len(res.all())} finding(s)", file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro",
@@ -221,6 +255,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("selinv", help="quick numeric correctness demo")
     sp.set_defaults(fn=_cmd_selinv)
+
+    sp = sub.add_parser(
+        "check",
+        help="communication-correctness analyzer (plan verifier, "
+        "happens-before/race checker, determinism lint)",
+    )
+    sp.add_argument(
+        "--workload",
+        default="all",
+        help="registry workload name, 'laplacian' (quick tier), or 'all'",
+    )
+    sp.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
+    sp.add_argument("-g", "--grid", type=int, default=4)
+    sp.add_argument("--seed", type=int, default=20160523)
+    sp.add_argument(
+        "--schemes",
+        default="flat,binary,shifted",
+        help="comma-separated tree schemes to verify",
+    )
+    sp.add_argument(
+        "--trace",
+        action="store_true",
+        help="force DES trace validation for every checked workload "
+        "(default: quick laplacian tier only)",
+    )
+    sp.add_argument(
+        "--codes",
+        action="store_true",
+        help="list diagnostic codes and exit",
+    )
+    sp.set_defaults(fn=_cmd_check)
     return p
 
 

@@ -22,6 +22,24 @@ from .trees import CommTree
 __all__ = ["TreeBroadcast", "TreeReduce"]
 
 
+def _require_hashable_tag(tag: Any) -> Any:
+    """Fail fast on unhashable tags.
+
+    Tags key the machine's channel bookkeeping and the protocol layers'
+    collective registries; an unhashable tag would otherwise surface as
+    an opaque ``dict`` TypeError deep inside :class:`Machine` on the
+    first forwarded message.
+    """
+    try:
+        hash(tag)
+    except TypeError:
+        raise TypeError(
+            f"collective tag must be hashable, got {type(tag).__name__}: "
+            f"{tag!r}"
+        ) from None
+    return tag
+
+
 class TreeBroadcast:
     """One restricted broadcast: root pushes, internal nodes forward.
 
@@ -42,7 +60,7 @@ class TreeBroadcast:
     ) -> None:
         self.machine = machine
         self.tree = tree
-        self.tag = tag
+        self.tag = _require_hashable_tag(tag)
         self.nbytes = int(nbytes)
         self.category = category
         self.on_delivery = on_delivery
@@ -51,7 +69,7 @@ class TreeBroadcast:
     def start(self, payload: Any = None) -> None:
         """Called (once) on the root when its data is ready."""
         if self._started:
-            raise RuntimeError(f"broadcast {self.tag} started twice")
+            raise RuntimeError(f"broadcast {self.tag!r} started twice")
         self._started = True
         self._forward(self.tree.root, payload)
 
@@ -92,7 +110,7 @@ class TreeReduce:
     ) -> None:
         self.machine = machine
         self.tree = tree
-        self.tag = tag
+        self.tag = _require_hashable_tag(tag)
         self.nbytes = int(nbytes)
         self.category = category
         self.contributors = set(int(r) for r in contributors)
@@ -100,7 +118,10 @@ class TreeReduce:
         self.combine = combine
         unknown = self.contributors - set(tree.ranks())
         if unknown:
-            raise ValueError(f"contributors {unknown} not in the tree")
+            raise ValueError(
+                f"reduce {self.tag!r}: contributors {sorted(unknown)} "
+                "not in the tree"
+            )
         # Per-rank progress: how many inputs are still outstanding and the
         # running partial value.
         self._pending: dict[int, int] = {}
@@ -119,7 +140,9 @@ class TreeReduce:
     def contribute(self, rank: int, value: Any = None) -> None:
         """Provide ``rank``'s local contribution (exactly once)."""
         if rank not in self.contributors:
-            raise ValueError(f"rank {rank} is not a contributor of {self.tag}")
+            raise ValueError(
+                f"reduce {self.tag!r}: rank {rank} is not a contributor"
+            )
         self._absorb(rank, value)
 
     def on_message(self, msg: Message) -> None:
@@ -128,7 +151,9 @@ class TreeReduce:
 
     def _absorb(self, rank: int, value: Any) -> None:
         if self._done[rank]:
-            raise RuntimeError(f"reduce {self.tag}: input after completion at {rank}")
+            raise RuntimeError(
+                f"reduce {self.tag!r}: input after completion at rank {rank}"
+            )
         cur = self._value[rank]
         if cur is None:
             self._value[rank] = value

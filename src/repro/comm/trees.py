@@ -80,6 +80,25 @@ class CommTree:
     parent: dict[int, int]
     children: dict[int, tuple[int, ...]]
 
+    def __post_init__(self) -> None:
+        # Reject the two malformations a caller can introduce through the
+        # participant list (a duplicated rank silently double-receives, a
+        # root outside the set silently never sends); the deeper shape
+        # invariants are checked by ``repro.check.plan_lint.lint_tree``.
+        if len(set(self.order)) != len(self.order):
+            seen: set[int] = set()
+            dupes: set[int] = set()
+            for r in self.order:
+                (dupes if r in seen else seen).add(r)
+            raise ValueError(
+                f"CommTree: duplicate participants {sorted(dupes)}"
+            )
+        if self.root not in set(self.order):
+            raise ValueError(
+                f"CommTree: root {self.root} is not in the participant "
+                f"list {self.order}"
+            )
+
     @property
     def size(self) -> int:
         return len(self.order)

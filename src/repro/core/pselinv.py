@@ -141,6 +141,7 @@ class SimulatedPSelInv:
         lookahead: int | None = 32,
         plans: list[SupernodePlan] | None = None,
         tree_cache: dict | None = None,
+        event_log: list | None = None,
     ) -> None:
         self.struct = struct
         self.grid = grid
@@ -164,7 +165,10 @@ class SimulatedPSelInv:
             placement_seed=placement_seed,
             jitter_seed=jitter_seed,
         )
-        self.machine = Machine(grid.size, net)
+        # ``event_log`` (a caller-owned list) enables the machine's
+        # structured trace hook; ``repro check`` replays it against the
+        # static happens-before model.
+        self.machine = Machine(grid.size, net, event_log=event_log)
         if plans is not None:
             self.plans = plans
         else:
@@ -222,7 +226,6 @@ class SimulatedPSelInv:
         communication trees as supernodes enter the lookahead window.
         """
         m = self.machine
-        st = self.states[plan.k]
         k = plan.k
         if plan.diag_bcast is not None:
             spec = plan.diag_bcast
@@ -401,7 +404,6 @@ class SimulatedPSelInv:
         plan = st.plan
         s = plan.width
         pr, pc = self.grid.pr, self.grid.pc
-        kc = k % pc
         if rank == plan.diag_owner:
             # Compute the base term inv(U_KK) inv(L_KK) while panels move.
             def fin_base(payload=payload):

@@ -7,7 +7,7 @@ per-rank communication-volume accounting.
 """
 
 from .engine import Simulator
-from .machine import CommStats, Machine, Message
+from .machine import CommStats, Machine, Message, TraceEvent
 from .network import Network, NetworkConfig
 
 __all__ = [
@@ -17,4 +17,5 @@ __all__ = [
     "Network",
     "NetworkConfig",
     "Simulator",
+    "TraceEvent",
 ]

@@ -26,14 +26,32 @@ messages per run), so per-rank clocks and counters are plain Python lists
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, NamedTuple
 
 import numpy as np
 
 from .engine import Simulator
 from .network import Network
 
-__all__ = ["Message", "CommStats", "Machine"]
+__all__ = ["Message", "CommStats", "Machine", "TraceEvent"]
+
+
+class TraceEvent(NamedTuple):
+    """One structured event-log record (the ``repro check`` trace hook).
+
+    ``kind`` is ``"send"`` (stamped when :meth:`Machine.post_send` accepts
+    the message, self-sends included) or ``"deliver"`` (stamped when the
+    receiver's handler is about to run).  Times are virtual-clock seconds.
+    The happens-before trace validator (:func:`repro.check.validate_trace`)
+    replays these records against the static plan model.
+    """
+
+    kind: str
+    time: float
+    src: int
+    dst: int
+    tag: Any
+    nbytes: int
 
 
 class Message:
@@ -142,13 +160,23 @@ class Machine:
     # it the dense table would waste memory and a dict takes over.
     _FLAT_CHANNEL_MAX_RANKS = 1024
 
-    def __init__(self, nranks: int, network: Network, sim: Simulator | None = None):
+    def __init__(
+        self,
+        nranks: int,
+        network: Network,
+        sim: Simulator | None = None,
+        *,
+        event_log: list | None = None,
+    ):
         if network.nranks < nranks:
             raise ValueError("network sized for fewer ranks than requested")
         self.nranks = nranks
         self.network = network
         self.sim = sim or Simulator()
         self.stats = CommStats(nranks)
+        # Optional structured trace: when a list is supplied, every send
+        # and delivery appends a TraceEvent.  Off (None) on the hot path.
+        self._event_log = event_log
         # Resource availability clocks (plain lists -- hot path).
         self._nic_free = [0.0] * nranks  # outgoing (injection) port
         self._nic_in_free = [0.0] * nranks  # incoming (ejection) port
@@ -198,6 +226,10 @@ class Machine:
         nbytes = int(nbytes)
         msg = Message(src, dst, tag, nbytes, category, payload)
         sim = self.sim
+        if self._event_log is not None:
+            self._event_log.append(
+                TraceEvent("send", sim.now, src, dst, tag, nbytes)
+            )
         if src == dst:
             sim.schedule_at(sim.now, self._deliver, msg)
             return
@@ -247,6 +279,13 @@ class Machine:
         self.sim.schedule_at(start + oh, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:
+        if self._event_log is not None:
+            self._event_log.append(
+                TraceEvent(
+                    "deliver", self.sim.now, msg.src, msg.dst, msg.tag,
+                    msg.nbytes,
+                )
+            )
         fn = self._handlers[msg.dst]
         if fn is None:
             raise RuntimeError(f"no handler installed on rank {msg.dst}")

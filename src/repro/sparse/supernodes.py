@@ -116,7 +116,6 @@ def relax_partition(
         eff_width[k + 1] = w
         eff_zeros[k + 1] = eff_zeros[k] + extra
         first[k + 1] = first[k]
-    starts = [int(first[k]) for k in range(nsup) if not (k > 0 and merged_into_next[k - 1])]
     # Rebuild pointer array from surviving starts.
     keep = [0]
     for k in range(nsup):

@@ -1,0 +1,14 @@
+"""Repo-wide determinism guard.
+
+Runs the ``repro.check.ast_lint`` pass over the whole ``repro`` package
+so any future commit introducing an unseeded RNG, a wall-clock read in a
+tag, raw set iteration feeding tree construction, or float accumulation
+into a volume counter fails CI with the offending file and line.
+"""
+
+from repro.check import format_diagnostics, lint_package
+
+
+def test_repro_package_is_determinism_clean():
+    diags = lint_package()
+    assert diags == [], "determinism lint findings:\n" + format_diagnostics(diags)

@@ -6,7 +6,6 @@ cause), and determinism (same seed, same trace).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

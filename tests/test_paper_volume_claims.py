@@ -15,7 +15,6 @@ These hold on our scaled-down proxies just as in the paper because they
 are combinatorial properties of the tree families, not of machine speed.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

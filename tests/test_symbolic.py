@@ -60,9 +60,6 @@ class TestColumnCounts:
     def test_rejects_unordered_matrix(self):
         # A matrix whose etree is not topologically ordered must be
         # rejected loudly rather than silently miscounted.
-        a = np.array(
-            [[4.0, 0, 1], [0, 4.0, 1], [1, 1, 4.0]]
-        )  # fine: parent[0]=2 etc -> ordered; build a bad one instead
         bad = np.array([[4.0, 1, 0], [1, 4.0, 0], [0, 0, 4.0]])
         # Reverse the order so a parent precedes its child.
         m = permute_symmetric(from_dense(bad), np.array([1, 0, 2]))
