@@ -8,8 +8,11 @@ controlled by ``REPRO_BENCH_SCALE``:
 * ``paper`` -- medium-scale proxies and larger grids for higher-fidelity
   shapes (tens of minutes; run it when you care about the curves).
 
-Analyzed problems and communication plans are memoized per session, so
-benchmarks sharing a workload pay for symbolic analysis once.  Each
+Analyzed problems and communication plans are memoized per session
+through :mod:`repro.runner.cache` -- the same per-process caches the
+parallel experiment runner's pool workers use -- so benchmarks sharing a
+workload pay for symbolic analysis once, and a sweep fanned out with
+``REPRO_JOBS > 1`` shares the parent's caches on fork platforms.  Each
 benchmark prints its paper-style table and mirrors it to
 ``benchmarks/results/<name>.txt`` so the artifacts survive pytest's
 output capture.
@@ -18,14 +21,13 @@ output capture.
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 
-import numpy as np
-
-from repro.core import ProcessorGrid, iter_plans
+from repro.core import ProcessorGrid
+from repro.runner import cache as _cache
 from repro.simulate import NetworkConfig
-from repro.sparse import AnalyzedProblem, analyze
-from repro.workloads import make_workload
+from repro.sparse import AnalyzedProblem
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -48,54 +50,56 @@ TIMING_NET = dict(
     flop_rate=8e9,
 )
 
-_PROBLEMS: dict[tuple, AnalyzedProblem] = {}
-_PLANS: dict[tuple, list] = {}
-
-
 def timing_network(jitter_sigma: float = 0.2) -> NetworkConfig:
     return NetworkConfig(jitter_sigma=jitter_sigma, **TIMING_NET)
+
+
+def default_scale() -> str:
+    """The workload scale implied by ``REPRO_BENCH_SCALE``."""
+    return "small" if SCALE == "quick" else "medium"
 
 
 def get_problem(
     workload: str, scale: str | None = None, *, max_supernode: int = 8
 ) -> AnalyzedProblem:
     """Memoized workload generation + symbolic analysis."""
-    scale = scale or ("small" if SCALE == "quick" else "medium")
-    key = (workload, scale, max_supernode)
-    prob = _PROBLEMS.get(key)
-    if prob is None:
-        m = make_workload(workload, scale)
-        prob = analyze(m, ordering="nd", max_supernode=max_supernode)
-        _PROBLEMS[key] = prob
-    return prob
+    return _cache.get_problem(workload, scale or default_scale(), max_supernode)
 
 
 def _problem_key(prob: AnalyzedProblem) -> tuple | None:
     """The ``(workload, scale, max_supernode)`` key ``prob`` was memoized
-    under, or None for problems not created by :func:`get_problem`."""
-    for key, cached in _PROBLEMS.items():
-        if cached is prob:
-            return key
-    return None
+    under, or None for problems not created by :func:`get_problem`.
+
+    O(1): the runner cache keeps an ``id(problem) -> key`` reverse map
+    stamped at insertion (cached problems are never evicted, so the id
+    stays valid), instead of scanning the whole cache per lookup.
+    """
+    return _cache.problem_key_of(prob)
 
 
 def get_plans(prob: AnalyzedProblem, grid: ProcessorGrid) -> list:
     """Memoized communication plans per (problem, grid).
 
     Keyed on ``(workload, scale, max_supernode, pr, pc)`` -- NOT on
-    ``id(prob)``, which the allocator can reuse after garbage collection
-    and silently serve plans for the wrong problem.  Problems that did
-    not come from :func:`get_problem` are computed fresh, uncached.
+    ``id(prob)`` alone, which the allocator can reuse after garbage
+    collection and silently serve plans for the wrong problem.  Problems
+    that did not come from :func:`get_problem` are computed fresh,
+    uncached.
     """
-    pkey = _problem_key(prob)
-    if pkey is None:
-        return list(iter_plans(prob.struct, grid))
-    key = (*pkey, grid.pr, grid.pc)
-    plans = _PLANS.get(key)
-    if plans is None:
-        plans = list(iter_plans(prob.struct, grid))
-        _PLANS[key] = plans
-    return plans
+    return _cache.get_plans(prob, grid)
+
+
+def progress_printer(prefix: str):
+    """A runner progress callback printing per-item elapsed-time lines."""
+
+    def progress(done: int, total: int, item, result, elapsed: float) -> None:
+        name = item.describe() if hasattr(item, "describe") else str(item)
+        print(
+            f"  [{prefix} {done}/{total}] {name}  ({elapsed:.1f}s elapsed)",
+            file=sys.stderr,
+        )
+
+    return progress
 
 
 def volume_grid() -> ProcessorGrid:

@@ -15,14 +15,14 @@
    paper's hot-spot mechanism rather than some other artifact.
 """
 
-import numpy as np
-
-from repro.analysis import Table, volume_histogram
-from repro.core import ProcessorGrid, SimulatedPSelInv, communication_volumes, volume_summary
+from repro.analysis import Table
+from repro.core import SimulatedPSelInv, volume_summary
+from repro.runner import ExperimentSpec, VolumeSpec, run_experiments
 from repro.simulate import Network, NetworkConfig
 
 from _harness import (
     TIMING_NET,
+    default_scale,
     emit,
     get_plans,
     get_problem,
@@ -32,35 +32,45 @@ from _harness import (
 )
 
 
-def _intergroup_bytes(prob, grid, scheme, net_cfg, plans):
-    """Total bytes crossing group boundaries under a scheme (locality)."""
-    res = SimulatedPSelInv(
-        prob.struct, grid, scheme, network=net_cfg, seed=20160523,
-        plans=plans, lookahead=4,
-    ).run()
-    return res
+def _spec_kwargs(grid):
+    return dict(
+        workload="audikw_1",
+        scale=default_scale(),
+        grid=(grid.pr, grid.pc),
+        seed=20160523,
+        lookahead=4,
+    )
 
 
 def test_ablation_shift_vs_permutation(benchmark):
     prob = get_problem("audikw_1")
     grid = volume_grid()
     plans = get_plans(prob, grid)
-    net = timing_network(jitter_sigma=0.0)
     # Few ranks per node so locality matters on this small grid.
     net = NetworkConfig(
         jitter_sigma=0.0, cores_per_node=4, nodes_per_group=4, **TIMING_NET
     )
+    schemes = ("shifted", "randperm")
 
     def compute():
-        out = {}
-        for scheme in ("shifted", "randperm"):
-            rep = communication_volumes(
-                prob.struct, grid, scheme, seed=20160523, plans=plans
+        specs = [
+            ExperimentSpec(scheme=s, network=net, **_spec_kwargs(grid))
+            for s in schemes
+        ] + [
+            VolumeSpec(
+                "audikw_1",
+                (grid.pr, grid.pc),
+                s,
+                scale=default_scale(),
+                seed=20160523,
             )
-            res = SimulatedPSelInv(
-                prob.struct, grid, scheme, network=net, seed=20160523,
-                plans=plans, lookahead=4,
-            ).run()
+            for s in schemes
+        ]
+        results = run_experiments(specs)
+        runs = dict(zip(schemes, results[: len(schemes)]))
+        reps = dict(zip(schemes, results[len(schemes):]))
+        out = {}
+        for scheme in schemes:
             # Locality: fraction of transferred bytes that stay in-node.
             network = Network(grid.size, net)
             local = far = 0.0
@@ -80,7 +90,7 @@ def test_ablation_shift_vs_permutation(benchmark):
                             local += spec.nbytes
                         else:
                             far += spec.nbytes
-            out[scheme] = (rep, res, local / (local + far))
+            out[scheme] = (reps[scheme], runs[scheme], local / (local + far))
         return out
 
     results = run_once(benchmark, compute)
@@ -110,14 +120,17 @@ def test_ablation_hybrid_threshold(benchmark):
     thresholds = [1, 4, 8, 16, 10**6]
 
     def compute():
-        out = {}
-        for th in thresholds:
-            res = SimulatedPSelInv(
-                prob.struct, grid, "hybrid", network=net, seed=20160523,
-                plans=plans, lookahead=4, hybrid_threshold=th,
-            ).run()
-            out[th] = res.makespan
-        return out
+        specs = [
+            ExperimentSpec(
+                scheme="hybrid",
+                network=net,
+                hybrid_threshold=th,
+                **_spec_kwargs(grid),
+            )
+            for th in thresholds
+        ]
+        records = run_experiments(specs)
+        return {th: rec.makespan for th, rec in zip(thresholds, records)}
 
     times = run_once(benchmark, compute)
     table = Table(
@@ -138,22 +151,20 @@ def test_ablation_hybrid_threshold(benchmark):
 
 
 def test_ablation_lookahead_window(benchmark):
-    prob = get_problem("audikw_1")
     grid = volume_grid()
-    plans = get_plans(prob, grid)
     net = timing_network(jitter_sigma=0.0)
     windows = [1, 2, 4, 16, None]
 
     def compute():
-        out = {}
-        for w in windows:
-            for scheme in ("flat", "shifted"):
-                res = SimulatedPSelInv(
-                    prob.struct, grid, scheme, network=net, seed=20160523,
-                    plans=plans, lookahead=w,
-                ).run()
-                out[(w, scheme)] = res.makespan
-        return out
+        kwargs = _spec_kwargs(grid)
+        del kwargs["lookahead"]
+        keys = [(w, scheme) for w in windows for scheme in ("flat", "shifted")]
+        specs = [
+            ExperimentSpec(scheme=scheme, network=net, lookahead=w, **kwargs)
+            for w, scheme in keys
+        ]
+        records = run_experiments(specs)
+        return {key: rec.makespan for key, rec in zip(keys, records)}
 
     times = run_once(benchmark, compute)
     table = Table(
@@ -178,24 +189,25 @@ def test_ablation_nic_serialization(benchmark):
     """Infinite-rate NICs: the flat root's fan-out becomes free, so the
     flat-vs-shifted gap should (mostly) vanish -- the paper's hot-spot
     mechanism is the injection/ejection serialization."""
-    prob = get_problem("audikw_1")
     grid = volume_grid()
-    plans = get_plans(prob, grid)
     normal = timing_network(jitter_sigma=0.0)
     cfg = dict(TIMING_NET)
     cfg.update(injection_bandwidth=1e15, ejection_bandwidth=1e15, injection_overhead=0.0)
     no_nic = NetworkConfig(jitter_sigma=0.0, **cfg)
 
     def compute():
-        out = {}
-        for label, net in (("normal", normal), ("no-nic-serialization", no_nic)):
-            for scheme in ("flat", "shifted"):
-                res = SimulatedPSelInv(
-                    prob.struct, grid, scheme, network=net, seed=20160523,
-                    plans=plans, lookahead=4,
-                ).run()
-                out[(label, scheme)] = res.makespan
-        return out
+        keys = [
+            (label, scheme)
+            for label in ("normal", "no-nic-serialization")
+            for scheme in ("flat", "shifted")
+        ]
+        nets = {"normal": normal, "no-nic-serialization": no_nic}
+        specs = [
+            ExperimentSpec(scheme=scheme, network=nets[label], **_spec_kwargs(grid))
+            for label, scheme in keys
+        ]
+        records = run_experiments(specs)
+        return {key: rec.makespan for key, rec in zip(keys, records)}
 
     times = run_once(benchmark, compute)
     table = Table(

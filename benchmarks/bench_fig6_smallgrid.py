@@ -7,25 +7,23 @@ growth of relative imbalance.
 """
 
 from repro.analysis import Table, render_ascii
-from repro.core import ProcessorGrid, communication_volumes
+from repro.runner import VolumeSpec, run_experiments
 
-from _harness import SCALE, emit, get_plans, get_problem, run_once
+from _harness import SCALE, default_scale, emit, run_once
 
 
 def test_fig6_small_grid_imbalance(benchmark):
-    prob = get_problem("audikw_1")
     sides = [4, 8, 12] if SCALE == "quick" else [8, 16, 24]
+    specs = [
+        VolumeSpec(
+            "audikw_1", (p, p), "flat", scale=default_scale(), seed=20160523
+        )
+        for p in sides
+    ]
 
     def compute():
-        out = {}
-        for p in sides:
-            grid = ProcessorGrid(p, p)
-            rep = communication_volumes(
-                prob.struct, grid, "flat", seed=20160523,
-                plans=get_plans(prob, grid),
-            )
-            out[p] = rep.col_bcast_sent()
-        return out
+        reports = run_experiments(specs)
+        return {p: rep.col_bcast_sent() for p, rep in zip(sides, reports)}
 
     volumes = run_once(benchmark, compute)
 

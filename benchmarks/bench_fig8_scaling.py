@@ -19,17 +19,16 @@ widens with P.  The paper-scale gap factors require the ``paper`` tier
 growing with grid size.
 """
 
-import numpy as np
-
 from repro.analysis import ScalingSeries, Table, modeled_superlu_time, speedup_table
-from repro.core import ProcessorGrid, SimulatedPSelInv
+from repro.runner import ExperimentSpec, run_experiments
 from repro.sparse.factor import factorization_flops
 
 from _harness import (
     SCALE,
+    default_scale,
     emit,
-    get_plans,
     get_problem,
+    progress_printer,
     run_once,
     scaling_processor_counts,
     timing_network,
@@ -40,51 +39,66 @@ N_RUNS = 2 if SCALE == "quick" else 3
 WORKLOAD = "DG_PNF14000" if SCALE == "paper" else "audikw_1"
 
 
-def test_fig8_strong_scaling(benchmark):
-    prob = get_problem("audikw_1")
+def sweep_specs() -> list[ExperimentSpec]:
+    """The full Fig. 8 sweep as runner specs (shared with the runner
+    benchmark, which measures this exact sweep serial vs parallel)."""
     sides = scaling_processor_counts()
     net = timing_network(jitter_sigma=0.2)
-
-    def compute():
-        series = {s: ScalingSeries(s) for s in SCHEMES}
-        series["v0.7.3-flat"] = ScalingSeries("v0.7.3-flat")
-        for p in sides:
-            grid = ProcessorGrid(p, p)
-            plans = get_plans(prob, grid)
-            # Trees depend on (scheme, grid); share them across the
-            # repeated jitter/placement runs only.
-            tree_caches = {s: {} for s in SCHEMES + ["v0.7.3-flat"]}
-            for run in range(N_RUNS):
-                for scheme in SCHEMES:
-                    res = SimulatedPSelInv(
-                        prob.struct,
-                        grid,
-                        scheme,
-                        network=net,
-                        seed=20160523,
+    common = dict(
+        workload="audikw_1",
+        scale=default_scale(),
+        network=net,
+        seed=20160523,
+        lookahead=4,
+    )
+    specs = []
+    for p in sides:
+        for run in range(N_RUNS):
+            for scheme in SCHEMES:
+                specs.append(
+                    ExperimentSpec(
+                        grid=(p, p),
+                        scheme=scheme,
                         jitter_seed=run,
                         placement_seed=run + 1000,
-                        plans=plans,
-                        lookahead=4,
-                        tree_cache=tree_caches[scheme],
-                    ).run()
-                    series[scheme].add(grid.size, res.makespan)
-                # v0.7.3: flat tree plus un-optimized per-message handling.
-                res = SimulatedPSelInv(
-                    prob.struct,
-                    grid,
-                    "flat",
-                    network=net,
-                    seed=20160523,
+                        label=scheme,
+                        **common,
+                    )
+                )
+            # v0.7.3: flat tree plus un-optimized per-message handling.
+            specs.append(
+                ExperimentSpec(
+                    grid=(p, p),
+                    scheme="flat",
                     jitter_seed=run,
                     placement_seed=run + 1000,
-                    plans=plans,
-                    lookahead=4,
                     per_message_cpu_overhead=2.0e-6,
-                    tree_cache=tree_caches["v0.7.3-flat"],
-                ).run()
-                series["v0.7.3-flat"].add(grid.size, res.makespan)
-        return series
+                    label="v0.7.3-flat",
+                    **common,
+                )
+            )
+    return specs
+
+
+def collect_series(records) -> dict[str, ScalingSeries]:
+    """Fold run records into per-label scaling series."""
+    series = {s: ScalingSeries(s) for s in SCHEMES + ["v0.7.3-flat"]}
+    for rec in records:
+        p = rec.spec.grid[0] * rec.spec.grid[1]
+        series[rec.spec.label].add(p, rec.makespan)
+    return series
+
+
+def test_fig8_strong_scaling(benchmark):
+    prob = get_problem("audikw_1")
+    specs = sweep_specs()
+
+    def compute():
+        # REPRO_JOBS workers; bit-identical to the serial loop this
+        # replaced (see tests/test_runner.py and bench_runner_scaling).
+        return collect_series(
+            run_experiments(specs, progress=progress_printer("fig8"))
+        )
 
     series = run_once(benchmark, compute)
 

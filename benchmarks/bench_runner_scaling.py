@@ -1,0 +1,218 @@
+"""Parallel experiment runner: wall-clock scaling + hot-path slimming.
+
+Two measurements back the runner PR:
+
+1. *Process-pool fan-out* -- the exact Fig. 8 quick sweep (imported from
+   :mod:`bench_fig8_scaling`, so this measures the real workload, not a
+   synthetic one) is executed serially and with 2 and 4 workers.  The
+   records must be bit-identical in every configuration; on a >= 4-core
+   host the 4-worker sweep must be >= 2.5x faster than serial.  On
+   smaller hosts (CI containers are often 1-2 cores) the timings are
+   still recorded but the speedup floor is not asserted -- pool overhead
+   with one core is real and expected.
+2. *Per-message hot path* -- one representative large run is timed with
+   the slimmed :class:`repro.simulate.Network` and with a faithful
+   re-creation of the pre-optimization query path (per-call config
+   attribute chasing, divisions instead of multiply-by-inverse, tuple
+   -keyed jitter memo), reported as DES events/second.
+
+Results land in ``benchmarks/results/BENCH_runner.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+from repro.analysis import Table
+from repro.runner import cache, run_experiments
+from repro.simulate import Network
+from repro.core import ProcessorGrid, SimulatedPSelInv
+
+from bench_fig8_scaling import sweep_specs
+from _harness import (
+    RESULTS_DIR,
+    SCALE,
+    default_scale,
+    emit,
+    get_plans,
+    get_problem,
+    run_once,
+    scaling_processor_counts,
+    timing_network,
+)
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_sweep(specs, jobs):
+    t0 = perf_counter()
+    records = run_experiments(specs, jobs=jobs, prewarm=False)
+    return records, perf_counter() - t0
+
+
+class _LegacyNetwork(Network):
+    """The pre-optimization per-message query path, for the before/after
+    events/sec comparison: config attribute chasing and a division on
+    every call, distance class via an indexed table, and a tuple-keyed
+    dict memo for the pair jitter."""
+
+    def injection_time(self, nbytes):
+        cfg = self.config
+        return cfg.injection_overhead + nbytes / cfg.injection_bandwidth
+
+    def ejection_time(self, nbytes):
+        return nbytes / self.config.ejection_bandwidth
+
+    def _legacy_pair_jitter(self, src, dst):
+        if self.config.jitter_sigma <= 0:
+            return 1.0
+        a, b = self.node_of[src], self.node_of[dst]
+        if a == b:
+            return 1.0
+        if a > b:
+            a, b = b, a
+        key = (int(a), int(b))
+        j = self._jitter.get(key)
+        if j is None:
+            j = self._draw_jitter(*key)
+            self._jitter[key] = j
+        return j
+
+    def transit_time(self, src, dst, nbytes):
+        cfg = self.config
+        d = self.distance_class(src, dst)
+        lat = (cfg.latency_intra_node, cfg.latency_intra_group,
+               cfg.latency_inter_group)[d]
+        bw = (cfg.bw_intra_node, cfg.bw_intra_group, cfg.bw_inter_group)[d]
+        return (lat + nbytes / bw) * self._legacy_pair_jitter(src, dst)
+
+
+def _timed_single_run(network_cls):
+    """One large jittered run under the given Network class; the class is
+    swapped via the simulate module so :class:`SimulatedPSelInv` (and the
+    Machine's pre-bound query methods) pick it up at construction."""
+    import repro.core.pselinv as pselinv_mod
+
+    side = scaling_processor_counts()[-1]
+    prob = get_problem("audikw_1")
+    grid = ProcessorGrid(side, side)
+    plans = get_plans(prob, grid)
+    orig = pselinv_mod.Network
+    pselinv_mod.Network = network_cls
+    try:
+        sim = SimulatedPSelInv(
+            prob.struct,
+            grid,
+            "shifted",
+            network=timing_network(jitter_sigma=0.2),
+            seed=20160523,
+            plans=plans,
+            lookahead=4,
+        )
+        t0 = perf_counter()
+        res = sim.run()
+        dt = perf_counter() - t0
+    finally:
+        pselinv_mod.Network = orig
+    return res, dt
+
+
+def test_runner_scaling(benchmark):
+    specs = sweep_specs()
+    cache.prewarm(specs)  # pay analysis once, outside every timer
+    jobs_grid = [1, 2, 4]
+    cores = _cpu_count()
+
+    def compute():
+        out = {}
+        for jobs in jobs_grid:
+            out[jobs] = _timed_sweep(specs, jobs)
+        return out
+
+    results = run_once(benchmark, compute)
+
+    base_records, base_time = results[1]
+    total_events = sum(r.events for r in base_records)
+    table = Table(
+        f"Parallel runner -- Fig. 8 {SCALE} sweep ({len(specs)} runs, "
+        f"{total_events} DES events, host has {cores} core(s))",
+        ["jobs", "wall s", "speedup", "events/s", "identical"],
+    )
+    rows = []
+    for jobs in jobs_grid:
+        records, wall = results[jobs]
+        identical = len(records) == len(base_records) and all(
+            a.same_outcome(b) for a, b in zip(base_records, records)
+        )
+        rows.append(
+            dict(
+                jobs=jobs,
+                wall_seconds=round(wall, 4),
+                speedup=round(base_time / wall, 3),
+                events_per_sec=round(total_events / wall),
+                identical=identical,
+            )
+        )
+        table.add(
+            jobs,
+            f"{wall:.2f}",
+            f"{base_time / wall:.2f}x",
+            f"{total_events / wall:,.0f}",
+            identical,
+        )
+
+    # Hot-path slimming: one large run, legacy vs slimmed network.
+    res_new, dt_new = _timed_single_run(Network)
+    res_old, dt_old = _timed_single_run(_LegacyNetwork)
+    net_cmp = dict(
+        run=f"audikw_1 {scaling_processor_counts()[-1]}^2 ranks, shifted, jitter 0.2",
+        events=res_new.events,
+        legacy_seconds=round(dt_old, 4),
+        slimmed_seconds=round(dt_new, 4),
+        legacy_events_per_sec=round(res_old.events / dt_old),
+        slimmed_events_per_sec=round(res_new.events / dt_new),
+        speedup=round(dt_old / dt_new, 3),
+    )
+    lines = [
+        table.render(),
+        "",
+        "per-message hot path (single large run, DES events/sec):",
+        f"  legacy  network: {net_cmp['legacy_events_per_sec']:,}/s"
+        f" ({dt_old:.2f}s)",
+        f"  slimmed network: {net_cmp['slimmed_events_per_sec']:,}/s"
+        f" ({dt_new:.2f}s)  -> {net_cmp['speedup']:.2f}x",
+    ]
+    emit("runner_scaling", "\n".join(lines))
+
+    payload = dict(
+        bench="runner_scaling_fig8_sweep",
+        scale=SCALE,
+        workload_scale=default_scale(),
+        cpu_count=cores,
+        specs=len(specs),
+        total_events=total_events,
+        sweeps=rows,
+        network_hot_path=net_cmp,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_runner.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # Bit-identity is unconditional; the speedup floor needs real cores.
+    assert all(r["identical"] for r in rows)
+    if cores >= 4:
+        four = next(r for r in rows if r["jobs"] == 4)
+        assert four["speedup"] >= 2.5, four
+    # The slimmed per-message path must not be slower than the legacy one
+    # (single-run timing noise aside: require >= 0.9x).
+    assert dt_new <= dt_old / 0.9
+    # Both network variants walk the same event structure.
+    assert res_new.events == res_old.events

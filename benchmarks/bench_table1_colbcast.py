@@ -11,12 +11,18 @@ blows up the maximum/std; Shifted raises the minimum, cuts the maximum,
 and shrinks the std well below Flat's.
 """
 
-import numpy as np
-
 from repro.analysis import Table
-from repro.core import communication_volumes, volume_summary
+from repro.core import volume_summary
+from repro.runner import VolumeSpec, run_experiments
 
-from _harness import emit, get_plans, get_problem, paper_note, run_once, volume_grid
+from _harness import (
+    default_scale,
+    emit,
+    get_problem,
+    paper_note,
+    run_once,
+    volume_grid,
+)
 
 SCHEMES = ["flat", "binary", "binomial", "shifted"]
 PAPER = {
@@ -29,15 +35,19 @@ PAPER = {
 def test_table1_colbcast_volume(benchmark):
     prob = get_problem("audikw_1")
     grid = volume_grid()
-    plans = get_plans(prob, grid)
+    specs = [
+        VolumeSpec(
+            "audikw_1",
+            (grid.pr, grid.pc),
+            scheme,
+            scale=default_scale(),
+            seed=20160523,
+        )
+        for scheme in SCHEMES
+    ]
 
     def compute():
-        return {
-            scheme: communication_volumes(
-                prob.struct, grid, scheme, seed=20160523, plans=plans
-            )
-            for scheme in SCHEMES
-        }
+        return dict(zip(SCHEMES, run_experiments(specs)))
 
     reports = run_once(benchmark, compute)
 

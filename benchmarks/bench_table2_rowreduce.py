@@ -14,13 +14,12 @@ the tightest.  Paper std-dev columns (Flat / Binary / Shifted), MB:
     Flan_1565            8.63 /  28.80 /  4.83
 """
 
-import numpy as np
-
 from repro.analysis import Table
-from repro.core import communication_volumes, volume_summary
+from repro.core import volume_summary
+from repro.runner import VolumeSpec, run_experiments
 from repro.workloads import WORKLOADS, workload_names
 
-from _harness import SCALE, emit, get_plans, get_problem, run_once, volume_grid
+from _harness import SCALE, emit, get_problem, run_once, volume_grid
 
 SCHEMES = ["flat", "binary", "shifted"]
 
@@ -39,19 +38,19 @@ def test_table2_rowreduce_volume(benchmark):
     scale = "small" if SCALE == "quick" else "medium"
 
     def compute():
+        # One spec per (matrix, scheme): 18 independent volume
+        # computations fanned out across REPRO_JOBS workers.
+        specs = [
+            VolumeSpec(name, (grid.pr, grid.pc), s, scale=scale, seed=20160523)
+            for name in workload_names()
+            for s in SCHEMES
+        ]
+        reports = run_experiments(specs)
         out = {}
-        for name in workload_names():
-            prob = get_problem(name, scale)
-            plans = get_plans(prob, grid)
-            out[name] = (
-                prob,
-                {
-                    s: communication_volumes(
-                        prob.struct, grid, s, seed=20160523, plans=plans
-                    )
-                    for s in SCHEMES
-                },
-            )
+        for spec, rep in zip(specs, reports):
+            out.setdefault(spec.workload, (get_problem(spec.workload, scale), {}))[
+                1
+            ][spec.scheme] = rep
         return out
 
     results = run_once(benchmark, compute)

@@ -23,17 +23,23 @@ Parallel selected inversion on the simulated machine::
 Communication-correctness static analysis (``repro check``)::
 
     from repro.check import run_checks, verify_plans
+
+Parallel experiment sweeps (``REPRO_JOBS`` workers, bit-identical to
+serial execution)::
+
+    from repro.runner import ExperimentSpec, run_experiments
 """
 
-from . import analysis, check, comm, core, simulate, sparse, workloads
+from . import analysis, check, comm, core, runner, simulate, sparse, workloads
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "check",
     "comm",
     "core",
+    "runner",
     "simulate",
     "sparse",
     "workloads",

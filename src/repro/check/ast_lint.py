@@ -40,6 +40,12 @@ The linter is purely syntactic; it sees through the common import idioms
 (``import numpy as np``, ``from numpy import random``, ``from random
 import randint``) but does not do type inference, so a set bound to a
 variable first is not flagged (documented limitation).
+
+A trailing ``# det: allow(DET003)`` pragma exempts the named rule(s) on
+that line (bare ``# det: allow`` exempts all).  Reserved for host-side
+orchestration -- progress timers and identity-keyed in-process memos in
+:mod:`repro.runner` -- never for code on the simulation's virtual
+timeline.
 """
 
 from __future__ import annotations
@@ -91,6 +97,14 @@ _WALLCLOCK = {
 }
 
 _COUNTER_NAME = re.compile(r"count|counter|volume", re.IGNORECASE)
+
+# Per-line suppression pragma: ``# det: allow(DET003)`` exempts the
+# named rule(s) on that line, ``# det: allow`` exempts every rule.  For
+# host-side orchestration only (progress timers, identity-keyed memos
+# that never leave the process); simulation code must stay clean.
+_ALLOW_PRAGMA = re.compile(
+    r"#\s*det:\s*allow(?:\(\s*(DET\d{3}(?:\s*,\s*DET\d{3})*)\s*\))?"
+)
 
 
 def _dotted(node: ast.AST) -> str | None:
@@ -211,6 +225,15 @@ def lint_source(source: str, filename: str = "<string>") -> list[Diagnostic]:
     parents = _parents(tree)
     out: list[Diagnostic] = []
 
+    # lineno -> codes exempted on that line (None = all codes).
+    allowed: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _ALLOW_PRAGMA.search(line)
+        if m:
+            allowed[lineno] = (
+                {c.strip() for c in m.group(1).split(",")} if m.group(1) else None
+            )
+
     def where(node: ast.AST) -> str:
         return f"{filename}:{getattr(node, 'lineno', 0)}"
 
@@ -322,7 +345,13 @@ def lint_source(source: str, filename: str = "<string>") -> list[Diagnostic]:
                         "order-sensitive; accumulate integers",
                     )
                 )
-    return out
+
+    def suppressed(d: Diagnostic) -> bool:
+        _, _, lineno = d.subject.rpartition(":")
+        codes = allowed.get(int(lineno) if lineno.isdigit() else 0, ())
+        return codes is None or d.code in codes
+
+    return [d for d in out if not suppressed(d)]
 
 
 def lint_file(path: str | Path) -> list[Diagnostic]:

@@ -11,11 +11,17 @@ builds its communication plans, and runs
    static model (:mod:`repro.check.hb`), and
 3. the AST determinism lint over the package sources
    (:mod:`repro.check.ast_lint`).
+
+Per-workload checks are independent, so the registry sweep fans out
+across the :class:`repro.runner.ParallelRunner` process pool
+(``REPRO_JOBS`` / ``repro check --jobs``); findings merge back in
+registry order, so the report is identical to a serial run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from .diagnostics import Diagnostic
 from . import ast_lint, hb, plan_lint
@@ -102,6 +108,18 @@ def check_workload(
     return res
 
 
+def _check_task(task: dict) -> CheckResult:
+    """One workload's passes 1+2 (module-level so the pool can pickle it)."""
+    return check_workload(
+        task["name"],
+        scale=task["scale"],
+        grid_side=task["grid_side"],
+        schemes=task["schemes"],
+        seed=task["seed"],
+        trace=task["trace"],
+    )
+
+
 def run_checks(
     workload: str = "all",
     *,
@@ -110,6 +128,8 @@ def run_checks(
     schemes: tuple[str, ...] = ("flat", "binary", "shifted"),
     seed: int = 20160523,
     trace: bool | None = None,
+    jobs: int | None = None,
+    progress: Callable | None = None,
 ) -> CheckResult:
     """The full ``repro check`` entry point.
 
@@ -117,24 +137,35 @@ def run_checks(
     quick-tier ``laplacian`` alias.  Trace validation defaults to on for
     the quick alias and off for the (larger) registry workloads; pass
     ``trace=True`` to force it everywhere.
+
+    ``jobs`` selects the process-pool width (None = the ``REPRO_JOBS``
+    default); per-workload findings merge in registry order, so the
+    result does not depend on the worker count.  ``progress`` is the
+    runner's per-item callback (see :class:`repro.runner.ParallelRunner`).
     """
+    from ..runner import ParallelRunner
     from ..workloads import workload_names
 
     if workload == "all":
         names = [*workload_names(), QUICK_WORKLOAD]
     else:
         names = [workload]
-    res = CheckResult()
-    for name in names:
-        do_trace = trace if trace is not None else name == QUICK_WORKLOAD
-        check_workload(
-            name,
+    tasks = [
+        dict(
+            name=name,
             scale=scale,
             grid_side=grid_side,
-            schemes=schemes,
+            schemes=tuple(schemes),
             seed=seed,
-            trace=do_trace,
-            result=res,
+            trace=trace if trace is not None else name == QUICK_WORKLOAD,
         )
+        for name in names
+    ]
+    res = CheckResult()
+    for sub in ParallelRunner(jobs, progress=progress).map(_check_task, tasks):
+        res.plan.extend(sub.plan)
+        res.hb.extend(sub.hb)
+        res.det.extend(sub.det)
+        res.traced.extend(sub.traced)
     res.det.extend(ast_lint.lint_package())
     return res

@@ -7,11 +7,16 @@ Commands map one-to-one onto the paper's experiments::
     python -m repro volumes audikw_1 -g 8     # Tables I/II volume summary
     python -m repro heatmap audikw_1 -g 8     # Fig. 5 ASCII heat maps
     python -m repro scaling -g 16 -r 2        # Fig. 8 mini strong scaling
+    python -m repro bench -g 16 -r 2 -j 4     # same sweep, 4 workers
     python -m repro selinv                    # quick numeric demo + check
     python -m repro check                     # communication-correctness
                                               # analyzer (all workloads)
 
-All commands run on the simulated machine; nothing requires MPI.
+All commands run on the simulated machine; nothing requires MPI.  Sweep
+commands (``scaling``/``bench``/``check``) fan out across a process pool:
+``--jobs N`` overrides the ``REPRO_JOBS`` environment knob (1 = serial;
+results are bit-identical either way), and every completed item prints a
+progress + elapsed-time line to stderr.
 """
 
 from __future__ import annotations
@@ -22,6 +27,21 @@ import sys
 import numpy as np
 
 __all__ = ["main"]
+
+
+def _progress(done: int, total: int, item, result, elapsed: float) -> None:
+    """Per-item progress line for long sweeps (stderr, flushed)."""
+    if isinstance(item, dict):
+        name = str(item.get("name", item))
+    elif hasattr(item, "describe"):
+        name = item.describe()
+    else:
+        name = str(item)
+    print(
+        f"  [{done}/{total}] {name}  ({elapsed:.1f}s elapsed)",
+        file=sys.stderr,
+        flush=True,
+    )
 
 
 def _cmd_workloads(args) -> int:
@@ -95,32 +115,49 @@ def _cmd_heatmap(args) -> int:
 
 
 def _cmd_scaling(args) -> int:
+    """Fig. 8 mini strong-scaling sweep (also exposed as ``repro bench``).
+
+    Experiments fan out across the parallel runner; records merge in
+    spec order, so the printed tables are identical for any ``--jobs``.
+    """
     from .analysis import ScalingSeries, Table, speedup_table
-    from .core import ProcessorGrid, SimulatedPSelInv, iter_plans
+    from .runner import ExperimentSpec, run_experiments
     from .simulate import NetworkConfig
 
-    prob = _analyzed(args)
     net = NetworkConfig(jitter_sigma=0.2)
     sides = [s for s in (4, 8, 16, 23, 32, 46) if s <= args.grid]
     schemes = ("flat", "binary", "shifted")
+    specs = [
+        ExperimentSpec(
+            workload=args.workload,
+            scale=args.scale,
+            max_supernode=args.max_supernode,
+            grid=(side, side),
+            scheme=scheme,
+            network=net,
+            seed=args.seed,
+            jitter_seed=run,
+            placement_seed=run + 77,
+            lookahead=4,
+            label=scheme,
+        )
+        for side in sides
+        for scheme in schemes
+        for run in range(args.runs)
+    ]
+    records = run_experiments(specs, jobs=args.jobs, progress=_progress)
     series = {s: ScalingSeries(s) for s in schemes}
+    for rec in records:
+        series[rec.spec.label].add(
+            rec.spec.grid[0] * rec.spec.grid[1], rec.makespan
+        )
     for side in sides:
-        grid = ProcessorGrid(side, side)
-        plans = list(iter_plans(prob.struct, grid))
         for scheme in schemes:
-            cache: dict = {}
-            for run in range(args.runs):
-                res = SimulatedPSelInv(
-                    prob.struct, grid, scheme,
-                    network=net, seed=args.seed, jitter_seed=run,
-                    placement_seed=run + 77, plans=plans, lookahead=4,
-                    tree_cache=cache,
-                ).run()
-                series[scheme].add(grid.size, res.makespan)
+            p = side * side
             print(
-                f"P={grid.size:5d} {scheme:8s} "
-                f"{series[scheme].mean(grid.size) * 1e3:8.2f} ms "
-                f"± {series[scheme].std(grid.size) * 1e3:.2f}",
+                f"P={p:5d} {scheme:8s} "
+                f"{series[scheme].mean(p) * 1e3:8.2f} ms "
+                f"± {series[scheme].std(p) * 1e3:.2f}",
                 file=sys.stderr,
             )
     table = Table("Strong scaling (simulated ms)", ["P", *schemes])
@@ -195,6 +232,8 @@ def _cmd_check(args) -> int:
         schemes=schemes,
         seed=args.seed,
         trace=True if args.trace else None,
+        jobs=args.jobs,
+        progress=_progress,
     )
     for d in res.all():
         print(d)
@@ -230,6 +269,16 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("-g", "--grid", type=int, default=grid_default)
         sp.add_argument("--seed", type=int, default=20160523)
 
+    def jobs_option(sp):
+        sp.add_argument(
+            "-j",
+            "--jobs",
+            type=int,
+            default=None,
+            help="parallel worker processes (default: REPRO_JOBS or all "
+            "cores; 1 = serial; results are identical either way)",
+        )
+
     sp = sub.add_parser("analyze", help="symbolic factorization stats")
     common(sp)
     sp.set_defaults(fn=_cmd_analyze)
@@ -245,6 +294,17 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("scaling", help="Fig. 8 mini strong-scaling sweep")
     common(sp, grid_default=16)
     sp.add_argument("-r", "--runs", type=int, default=2)
+    jobs_option(sp)
+    sp.set_defaults(fn=_cmd_scaling)
+
+    sp = sub.add_parser(
+        "bench",
+        help="parallel experiment sweep (the scaling sweep through the "
+        "process-pool runner; alias of 'scaling')",
+    )
+    common(sp, grid_default=16)
+    sp.add_argument("-r", "--runs", type=int, default=2)
+    jobs_option(sp)
     sp.set_defaults(fn=_cmd_scaling)
 
     sp = sub.add_parser(
@@ -285,6 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list diagnostic codes and exit",
     )
+    jobs_option(sp)
     sp.set_defaults(fn=_cmd_check)
     return p
 

@@ -1,0 +1,278 @@
+"""Deterministic process-pool fan-out for experiment sweeps.
+
+The paper's figures are reproduced by sweeping (workload x grid x scheme
+x seed) discrete-event simulations that are independent by construction,
+so they fan out across a :class:`concurrent.futures.ProcessPoolExecutor`
+-- the embarrassingly-parallel analogue of the asynchronous task
+parallelism the underlying solvers exploit.  Three properties are
+load-bearing:
+
+* **Bit-identical to serial.**  Every simulation is deterministic given
+  its spec, workers execute the same ``run_experiment`` the serial path
+  does, and results are merged back in submission order -- so
+  ``jobs=N`` and ``jobs=1`` produce byte-for-byte identical records.
+* **Cheap boundaries.**  Only specs (primitives) and records (floats +
+  numpy arrays) are pickled; problems, plans, and trees live in the
+  per-worker caches of :mod:`repro.runner.cache`, pre-warmed in the
+  parent so fork-start workers inherit them copy-on-write.
+* **Graceful degradation.**  ``REPRO_JOBS=1`` (or any platform where a
+  process pool cannot be created) falls back to a plain in-process loop
+  with identical semantics, and a failing experiment raises
+  :class:`ExperimentError` naming the exact spec that failed.
+
+``REPRO_JOBS`` selects the worker count everywhere (benchmarks,
+``repro check``, ``repro bench``); unset or ``auto`` means "all
+available cores".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from functools import partial
+from time import perf_counter
+from typing import Any, Callable, Iterable, Sequence
+
+from . import cache
+from .spec import ExperimentSpec, RunRecord, VolumeSpec
+
+__all__ = [
+    "ExperimentError",
+    "ParallelRunner",
+    "default_jobs",
+    "run_experiment",
+    "run_experiments",
+    "run_volume",
+]
+
+#: Progress callback: (done, total, item, result, elapsed_seconds).
+ProgressFn = Callable[[int, int, Any, Any, float], None]
+
+
+class ExperimentError(RuntimeError):
+    """An experiment failed; the message names the offending spec."""
+
+
+@dataclass
+class _Failure:
+    """Picklable carrier for a worker-side exception."""
+
+    item: str  # describe()/repr of the failing work item
+    error: str  # repr of the exception
+    tb: str  # formatted traceback from the worker
+
+    def raise_(self) -> None:
+        raise ExperimentError(
+            f"experiment failed for {self.item}: {self.error}\n"
+            f"--- worker traceback ---\n{self.tb}"
+        )
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (unset/``auto``/``0`` = all cores)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip().lower()
+    if raw not in ("", "auto", "0"):
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass  # unparseable -> fall through to the core count
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _describe(item: Any) -> str:
+    describe = getattr(item, "describe", None)
+    if callable(describe):
+        return describe()
+    text = repr(item)
+    return text if len(text) <= 200 else text[:197] + "..."
+
+
+def _guarded(fn: Callable[[Any], Any], item: Any) -> Any:
+    """Run ``fn(item)``, converting failure into a picklable record."""
+    try:
+        return fn(item)
+    except Exception as exc:
+        return _Failure(_describe(item), repr(exc), traceback.format_exc())
+
+
+def _worker_init() -> None:
+    """Pool initializer: warm the heavy imports once per worker.
+
+    The memo caches in :mod:`repro.runner.cache` are module-level, so on
+    fork platforms they arrive pre-populated from the parent; importing
+    the simulation stack here keeps even spawn-start workers from paying
+    import latency inside the first timed experiment.
+    """
+    from .. import comm, core, simulate, sparse  # noqa: F401
+
+
+def run_experiment(spec: ExperimentSpec) -> RunRecord:
+    """Execute one DES experiment (in this process) and record it.
+
+    This is the single execution path for serial and parallel runs
+    alike; determinism of the parallel runner reduces to determinism of
+    the simulation itself.
+    """
+    from ..core.grid import ProcessorGrid
+    from ..core.pselinv import SimulatedPSelInv
+
+    prob = cache.get_problem(spec.workload, spec.scale, spec.max_supernode)
+    grid = ProcessorGrid(*spec.grid)
+    plans = cache.get_plans(prob, grid)
+    tree_cache = cache.get_tree_cache(
+        prob, grid, spec.scheme, spec.seed, spec.hybrid_threshold
+    )
+    res = SimulatedPSelInv(
+        prob.struct,
+        grid,
+        spec.scheme,
+        network=spec.network,
+        seed=spec.seed,
+        placement_seed=spec.placement_seed,
+        jitter_seed=spec.jitter_seed,
+        hybrid_threshold=spec.hybrid_threshold,
+        per_message_cpu_overhead=spec.per_message_cpu_overhead,
+        lookahead=spec.lookahead,
+        plans=plans,
+        tree_cache=tree_cache,
+    ).run(max_events=spec.max_events)
+    return RunRecord.from_result(spec, res)
+
+
+def run_volume(spec: VolumeSpec):
+    """Execute one analytic volume computation; returns a VolumeReport."""
+    from ..core.grid import ProcessorGrid
+    from ..core.volume import communication_volumes
+
+    prob = cache.get_problem(spec.workload, spec.scale, spec.max_supernode)
+    grid = ProcessorGrid(*spec.grid)
+    plans = cache.get_plans(prob, grid)
+    return communication_volumes(
+        prob.struct, grid, spec.scheme, seed=spec.seed, plans=plans
+    )
+
+
+def _execute(spec: Any) -> Any:
+    """Spec dispatch (module-level so it pickles)."""
+    if isinstance(spec, ExperimentSpec):
+        return run_experiment(spec)
+    if isinstance(spec, VolumeSpec):
+        return run_volume(spec)
+    raise TypeError(f"not an experiment spec: {spec!r}")
+
+
+class ParallelRunner:
+    """Ordered, deterministic fan-out of picklable work items.
+
+    ``jobs=None`` resolves through :func:`default_jobs` (the
+    ``REPRO_JOBS`` knob); ``jobs=1`` runs everything in-process.
+    ``progress`` is invoked after each completed item, in submission
+    order, as ``progress(done, total, item, result, elapsed)``.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        chunksize: int | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.chunksize = chunksize
+        self.progress = progress
+
+    # -- generic ordered map ------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        """``[fn(x) for x in items]``, fanned out across the pool.
+
+        Results come back in item order regardless of completion order.
+        ``fn`` must be a picklable module-level callable.  A failing
+        item raises :class:`ExperimentError` naming it; a broken or
+        unavailable pool falls back to an in-process loop (same results,
+        deterministically).
+        """
+        items = list(items)
+        n = len(items)
+        jobs = min(self.jobs, n)
+        if jobs <= 1:
+            return self._map_serial(fn, items)
+        try:
+            return self._map_pool(fn, items, jobs)
+        except ExperimentError:
+            raise
+        except (BrokenProcessPool, ImportError, NotImplementedError, OSError,
+                PermissionError, ValueError):
+            # Pool could not be created or died wholesale (sandboxes,
+            # missing /dev/shm, fork limits): redo serially from scratch
+            # -- determinism makes the retry safe.
+            return self._map_serial(fn, items)
+
+    def _map_serial(self, fn: Callable[[Any], Any], items: list) -> list:
+        # Host wall clock for progress reporting only -- never enters
+        # results or the simulation's virtual timeline.
+        t0 = perf_counter()  # det: allow(DET003)
+        out = []
+        for i, item in enumerate(items):
+            out.append(self._accept(_guarded(fn, item), i, len(items), item, t0))
+        return out
+
+    def _map_pool(self, fn: Callable[[Any], Any], items: list, jobs: int) -> list:
+        t0 = perf_counter()  # det: allow(DET003) -- progress timing only
+        n = len(items)
+        # Chunked dispatch: amortize pickling/IPC without starving the
+        # tail -- ~4 chunks per worker balances both.
+        chunk = self.chunksize or max(1, n // (jobs * 4) or 1)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - fork-less platform
+            ctx = multiprocessing.get_context()
+        out = []
+        with ProcessPoolExecutor(
+            max_workers=jobs, mp_context=ctx, initializer=_worker_init
+        ) as pool:
+            for i, result in enumerate(
+                pool.map(partial(_guarded, fn), items, chunksize=chunk)
+            ):
+                out.append(self._accept(result, i, n, items[i], t0))
+        return out
+
+    def _accept(self, result: Any, i: int, n: int, item: Any, t0: float) -> Any:
+        if isinstance(result, _Failure):
+            result.raise_()
+        if self.progress is not None:
+            elapsed = perf_counter() - t0  # det: allow(DET003)
+            self.progress(i + 1, n, item, result, elapsed)
+        return result
+
+    # -- experiment sweeps ---------------------------------------------------
+
+    def run(self, specs: Sequence[Any], *, prewarm: bool = True) -> list:
+        """Execute a sweep of specs; records return in spec order.
+
+        ``prewarm`` populates the parent-process problem/plan caches
+        first (fork-start workers then inherit them copy-on-write; it is
+        also simply the serial path's memoization).
+        """
+        specs = list(specs)
+        if prewarm:
+            cache.prewarm(specs)
+        return self.map(_execute, specs)
+
+
+def run_experiments(
+    specs: Sequence[Any],
+    jobs: int | None = None,
+    *,
+    progress: ProgressFn | None = None,
+    prewarm: bool = True,
+) -> list:
+    """Convenience wrapper: one sweep through a :class:`ParallelRunner`."""
+    return ParallelRunner(jobs, progress=progress).run(specs, prewarm=prewarm)

@@ -188,6 +188,11 @@ class Machine:
         else:
             self._channel_last = {}
         self._recv_overhead = network.config.receive_overhead
+        # Pre-bound network queries: post_send/_receive run once per
+        # message, and the two attribute hops per call add up.
+        self._injection_time = network.injection_time
+        self._transit_time = network.transit_time
+        self._ejection_time = network.ejection_time
         # Message handler per rank: fn(msg) -> None.
         self._handlers: list[Callable[[Message], None] | None] = [None] * nranks
 
@@ -234,15 +239,14 @@ class Machine:
             sim.schedule_at(sim.now, self._deliver, msg)
             return
         self.stats.on_send(msg)
-        net = self.network
-        inj = net.injection_time(nbytes)
+        inj = self._injection_time(nbytes)
         now = sim.now
         nic = self._nic_free[src]
         start = nic if nic > now else now
         finish = start + inj
         self._nic_free[src] = finish
         self.stats._nic_out_busy[src] += inj
-        arrival = finish + net.transit_time(src, dst, nbytes)
+        arrival = finish + self._transit_time(src, dst, nbytes)
         # Enforce MPI-style non-overtaking per (src, dst) channel.
         ch = self._channel_last
         if self._flat_channels:
@@ -264,7 +268,7 @@ class Machine:
         now = self.sim.now
         # Ejection: converging messages serialize through the receiver's
         # NIC-in port (a flat reduce root pays p-1 of these back to back).
-        eject = self.network.ejection_time(msg.nbytes)
+        eject = self._ejection_time(msg.nbytes)
         nic = self._nic_in_free[dst]
         nic_start = nic if nic > now else now
         nic_done = nic_start + eject

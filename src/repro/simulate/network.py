@@ -72,7 +72,21 @@ class Network:
     granularity (None keeps the linear MPI-like placement);
     ``jitter_seed`` draws the per-node-pair multipliers.  Jitter factors
     are memoized lazily so huge rank counts stay cheap.
+
+    The transfer-time queries sit on the simulator's innermost loop (one
+    :meth:`injection_time` + :meth:`transit_time` per message, millions
+    per run), so the constructor flattens the config into per-distance-
+    class ``(latency, 1/bandwidth)`` scalars and the jitter memo into a
+    dense ``node x node`` table at sweep-sized node counts -- the
+    queries then run on local loads, one multiply, and one add, with no
+    per-call attribute chasing, tuple hashing, or branching on config.
     """
+
+    # Below this node count the pair-jitter memo is a flat dense list
+    # indexed ``a * nnodes + b`` (every grid the sweeps use lands here:
+    # even 46x46 ranks / 24 per node is only 89 nodes); above it the
+    # dense table would waste memory and the dict memo takes over.
+    _FLAT_JITTER_MAX_NODES = 512
 
     def __init__(
         self,
@@ -101,6 +115,26 @@ class Network:
         self._jitter_rng = np.random.default_rng(jitter_seed)
         self._jitter_seed = jitter_seed
         self._jitter: dict[tuple[int, int], float] = {}
+        # Flattened per-distance-class (latency, 1/bandwidth) table and
+        # NIC constants (see class docstring).
+        self._lat0, self._lat1, self._lat2 = (
+            cfg.latency_intra_node,
+            cfg.latency_intra_group,
+            cfg.latency_inter_group,
+        )
+        self._ibw0 = 1.0 / cfg.bw_intra_node
+        self._ibw1 = 1.0 / cfg.bw_intra_group
+        self._ibw2 = 1.0 / cfg.bw_inter_group
+        self._inj_overhead = cfg.injection_overhead
+        self._inj_ibw = 1.0 / cfg.injection_bandwidth
+        self._ej_ibw = 1.0 / cfg.ejection_bandwidth
+        self._no_jitter = cfg.jitter_sigma <= 0
+        # Dense jitter memo, 0.0 = "not drawn yet" (a log-normal draw is
+        # never exactly zero, so the sentinel cannot collide).
+        if not self._no_jitter and nnodes <= self._FLAT_JITTER_MAX_NODES:
+            self._jitter_flat: list[float] | None = [0.0] * (nnodes * nnodes)
+        else:
+            self._jitter_flat = None
 
     # -- queries ------------------------------------------------------------
 
@@ -112,44 +146,67 @@ class Network:
             return 1
         return 2
 
+    def _draw_jitter(self, a: int, b: int) -> float:
+        """The per-node-pair log-normal draw, ``a < b`` node ids.
+
+        Derived deterministically from the pair so lookup order does not
+        change the draw (and the flat and dict memos agree exactly).
+        """
+        rng = np.random.default_rng(
+            (self._jitter_seed * 1_000_003 + a * 1009 + b) & 0x7FFFFFFF
+        )
+        return float(rng.lognormal(mean=0.0, sigma=self.config.jitter_sigma))
+
+    def _node_jitter(self, a: int, b: int) -> float:
+        """Memoized jitter factor for a distinct node pair."""
+        if a > b:
+            a, b = b, a
+        flat = self._jitter_flat
+        if flat is not None:
+            idx = a * self.nnodes + b
+            j = flat[idx]
+            if j == 0.0:
+                j = self._draw_jitter(a, b)
+                flat[idx] = j
+            return j
+        key = (a, b)
+        j = self._jitter.get(key)
+        if j is None:
+            j = self._draw_jitter(a, b)
+            self._jitter[key] = j
+        return j
+
     def _pair_jitter(self, src: int, dst: int) -> float:
-        if self.config.jitter_sigma <= 0:
+        if self._no_jitter:
             return 1.0
         a, b = self._node_list[src], self._node_list[dst]
         if a == b:
             return 1.0  # shared memory does not jitter
-        key = (a, b) if a < b else (b, a)
-        j = self._jitter.get(key)
-        if j is None:
-            # Derive deterministically from the pair so lookup order does
-            # not change the draw.
-            rng = np.random.default_rng(
-                (self._jitter_seed * 1_000_003 + key[0] * 1009 + key[1]) & 0x7FFFFFFF
-            )
-            j = float(rng.lognormal(mean=0.0, sigma=self.config.jitter_sigma))
-            self._jitter[key] = j
-        return j
+        return self._node_jitter(a, b)
 
     def injection_time(self, nbytes: int) -> float:
         """Sender NIC occupancy for one message."""
-        cfg = self.config
-        return cfg.injection_overhead + nbytes / cfg.injection_bandwidth
+        return self._inj_overhead + nbytes * self._inj_ibw
 
     def ejection_time(self, nbytes: int) -> float:
         """Receiver NIC occupancy for one message."""
-        return nbytes / self.config.ejection_bandwidth
+        return nbytes * self._ej_ibw
 
     def transit_time(self, src: int, dst: int, nbytes: int) -> float:
         """Wire time after injection: latency + size / bandwidth, jittered."""
-        cfg = self.config
-        d = self.distance_class(src, dst)
-        if d == 0:
-            lat, bw = cfg.latency_intra_node, cfg.bw_intra_node
-        elif d == 1:
-            lat, bw = cfg.latency_intra_group, cfg.bw_intra_group
+        nl = self._node_list
+        a = nl[src]
+        b = nl[dst]
+        if a == b:
+            return self._lat0 + nbytes * self._ibw0
+        gl = self._group_list
+        if gl[src] == gl[dst]:
+            t = self._lat1 + nbytes * self._ibw1
         else:
-            lat, bw = cfg.latency_inter_group, cfg.bw_inter_group
-        return (lat + nbytes / bw) * self._pair_jitter(src, dst)
+            t = self._lat2 + nbytes * self._ibw2
+        if self._no_jitter:
+            return t
+        return t * self._node_jitter(a, b)
 
     def compute_time(self, flops: float) -> float:
         """CPU time for a compute task of the given flop count."""

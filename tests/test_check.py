@@ -341,6 +341,27 @@ class TestDeterminismLintKnownBad:
         )
         assert lint_source(src) == []
 
+    def test_allow_pragma_suppresses_named_rule(self):
+        src = "import time\nt = time.time()  # det: allow(DET003)\n"
+        assert lint_source(src) == []
+
+    def test_allow_pragma_bare_suppresses_all(self):
+        src = "import time\nt = time.time()  # det: allow\n"
+        assert lint_source(src) == []
+
+    def test_allow_pragma_wrong_code_does_not_suppress(self):
+        src = "import time\nt = time.time()  # det: allow(DET001)\n"
+        assert [d.code for d in lint_source(src)] == ["DET003"]
+
+    def test_allow_pragma_only_covers_its_own_line(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # det: allow(DET003)\n"
+            "b = time.time()\n"
+        )
+        diags = lint_source(src, "fixture.py")
+        assert [d.subject for d in diags] == ["fixture.py:3"]
+
 
 class TestDiagnostics:
     def test_unknown_code_rejected(self):

@@ -21,6 +21,8 @@ PACKAGES = [
     "repro.comm",
     "repro.core",
     "repro.analysis",
+    "repro.check",
+    "repro.runner",
 ]
 
 
