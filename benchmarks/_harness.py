@@ -20,6 +20,7 @@ output capture.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -119,6 +120,56 @@ def emit(name: str, text: str) -> None:
     print(f"\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def record_throughput(
+    name: str,
+    *,
+    wall_seconds: float,
+    events: int | None = None,
+    extra: dict | None = None,
+) -> str:
+    """Record a benchmark's DES event count and wall-clock throughput.
+
+    Every ``bench_*.py`` funnels through here so the BENCH_* artifacts
+    carry comparable numbers: the entry is merged into
+    ``results/BENCH_throughput.json`` (keyed by benchmark name) and the
+    returned note line is appended to the benchmark's txt report.
+    Analytic benchmarks (no simulator) pass ``events=None``.
+    """
+    events_per_sec = None
+    if events is not None and wall_seconds > 0:
+        events_per_sec = round(events / wall_seconds, 1)
+    entry = {
+        "bench": name,
+        "scale": SCALE,
+        "wall_seconds": round(wall_seconds, 4),
+        "events": None if events is None else int(events),
+        "events_per_sec": events_per_sec,
+    }
+    if extra:
+        entry.update(extra)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_throughput.json"
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            data = {}
+    if not isinstance(data, dict):
+        data = {}
+    data[name] = entry
+    path.write_text(json.dumps(dict(sorted(data.items())), indent=2) + "\n")
+    if events is None:
+        return (
+            f"[throughput] {name}: analytic (no DES events), "
+            f"wall {wall_seconds:.2f}s"
+        )
+    return (
+        f"[throughput] {name}: {int(events):,} DES events in "
+        f"{wall_seconds:.2f}s -> {events_per_sec:,.0f} events/s"
+    )
 
 
 def fmt_mb(x: float) -> str:

@@ -15,6 +15,8 @@
    paper's hot-spot mechanism rather than some other artifact.
 """
 
+from time import perf_counter
+
 from repro.analysis import Table
 from repro.core import SimulatedPSelInv, volume_summary
 from repro.runner import ExperimentSpec, VolumeSpec, run_experiments
@@ -26,6 +28,7 @@ from _harness import (
     emit,
     get_plans,
     get_problem,
+    record_throughput,
     run_once,
     timing_network,
     volume_grid,
@@ -93,7 +96,10 @@ def test_ablation_shift_vs_permutation(benchmark):
             out[scheme] = (reps[scheme], runs[scheme], local / (local + far))
         return out
 
+    t0 = perf_counter()
     results = run_once(benchmark, compute)
+    wall = perf_counter() - t0
+    total_events = sum(res.events for _, res, _ in results.values())
 
     table = Table(
         "Ablation -- circular shift vs full random permutation "
@@ -105,7 +111,10 @@ def test_ablation_shift_vs_permutation(benchmark):
         s = volume_summary(rep.col_bcast_sent())
         vals[scheme] = (s["std"], loc, res.makespan)
         table.add(scheme, s["std"], f"{loc:.1%}", res.makespan * 1e3)
-    emit("ablation_shift_vs_perm", table.render())
+    thr = record_throughput(
+        "ablation_shift_vs_perm", wall_seconds=wall, events=total_events
+    )
+    emit("ablation_shift_vs_perm", table.render() + "\n" + thr)
 
     # The full permutation must not preserve MORE locality than the
     # rotation (it breaks the consecutive-rank adjacency on purpose).
@@ -130,9 +139,12 @@ def test_ablation_hybrid_threshold(benchmark):
             for th in thresholds
         ]
         records = run_experiments(specs)
-        return {th: rec.makespan for th, rec in zip(thresholds, records)}
+        events = sum(rec.events for rec in records)
+        return {th: rec.makespan for th, rec in zip(thresholds, records)}, events
 
-    times = run_once(benchmark, compute)
+    t0 = perf_counter()
+    times, total_events = run_once(benchmark, compute)
+    wall = perf_counter() - t0
     table = Table(
         "Ablation -- hybrid flat/shifted threshold (paper §IV-B proposal)",
         ["threshold", "time ms", "note"],
@@ -140,7 +152,10 @@ def test_ablation_hybrid_threshold(benchmark):
     for th, t in times.items():
         note = "pure shifted" if th == 1 else ("pure flat" if th == 10**6 else "")
         table.add(th, t * 1e3, note)
-    emit("ablation_hybrid_threshold", table.render())
+    thr = record_throughput(
+        "ablation_hybrid_threshold", wall_seconds=wall, events=total_events
+    )
+    emit("ablation_hybrid_threshold", table.render() + "\n" + thr)
 
     # Sanity: hybrid at extreme thresholds reproduces the pure schemes.
     pure_sh = SimulatedPSelInv(
@@ -164,9 +179,12 @@ def test_ablation_lookahead_window(benchmark):
             for w, scheme in keys
         ]
         records = run_experiments(specs)
-        return {key: rec.makespan for key, rec in zip(keys, records)}
+        events = sum(rec.events for rec in records)
+        return {key: rec.makespan for key, rec in zip(keys, records)}, events
 
-    times = run_once(benchmark, compute)
+    t0 = perf_counter()
+    times, total_events = run_once(benchmark, compute)
+    wall = perf_counter() - t0
     table = Table(
         "Ablation -- lookahead window (bounded supernode pipelining)",
         ["window", "flat ms", "shifted ms", "flat/shifted"],
@@ -174,7 +192,10 @@ def test_ablation_lookahead_window(benchmark):
     for w in windows:
         f, s = times[(w, "flat")], times[(w, "shifted")]
         table.add("inf" if w is None else w, f * 1e3, s * 1e3, f"{f/s:.2f}")
-    emit("ablation_lookahead", table.render())
+    thr = record_throughput(
+        "ablation_lookahead", wall_seconds=wall, events=total_events
+    )
+    emit("ablation_lookahead", table.render() + "\n" + thr)
 
     # Pipelining monotonically helps, and the flat-tree penalty is larger
     # at small windows than with infinite buffering.
@@ -207,9 +228,12 @@ def test_ablation_nic_serialization(benchmark):
             for label, scheme in keys
         ]
         records = run_experiments(specs)
-        return {key: rec.makespan for key, rec in zip(keys, records)}
+        events = sum(rec.events for rec in records)
+        return {key: rec.makespan for key, rec in zip(keys, records)}, events
 
-    times = run_once(benchmark, compute)
+    t0 = perf_counter()
+    times, total_events = run_once(benchmark, compute)
+    wall = perf_counter() - t0
     table = Table(
         "Ablation -- NIC serialization on/off",
         ["network", "flat ms", "shifted ms", "flat/shifted"],
@@ -219,6 +243,9 @@ def test_ablation_nic_serialization(benchmark):
         f, s = times[(label, "flat")], times[(label, "shifted")]
         gaps[label] = f / s
         table.add(label, f * 1e3, s * 1e3, f"{f/s:.2f}")
-    emit("ablation_nic", table.render())
+    thr = record_throughput(
+        "ablation_nic", wall_seconds=wall, events=total_events
+    )
+    emit("ablation_nic", table.render() + "\n" + thr)
 
     assert gaps["no-nic-serialization"] <= gaps["normal"]

@@ -11,7 +11,16 @@ import numpy as np
 from repro.analysis import render_histogram, tail_fraction, volume_histogram
 from repro.core import communication_volumes
 
-from _harness import emit, get_plans, get_problem, run_once, volume_grid
+from time import perf_counter
+
+from _harness import (
+    emit,
+    get_plans,
+    get_problem,
+    record_throughput,
+    run_once,
+    volume_grid,
+)
 
 SCHEMES = ["flat", "binary", "shifted"]
 
@@ -29,7 +38,9 @@ def test_fig4_volume_distribution(benchmark):
             for s in SCHEMES
         }
 
+    t0 = perf_counter()
     volumes = run_once(benchmark, compute)
+    wall = perf_counter() - t0
 
     vmax = max(v.max() for v in volumes.values()) / 1e6
     sections = [
@@ -43,6 +54,7 @@ def test_fig4_volume_distribution(benchmark):
         spreads[s] = int(nz[-1] - nz[0]) if len(nz) else 0
         sections.append(f"\n[{s}]  (tail>2x mean: {tail_fraction(volumes[s]):.1%})")
         sections.append(render_histogram(counts, edges))
+    sections.append(record_throughput("fig4_histograms", wall_seconds=wall))
     emit("fig4_histograms", "\n".join(sections))
 
     # Shifted occupies the narrowest bin span; binary the widest.

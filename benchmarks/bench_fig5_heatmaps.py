@@ -15,7 +15,16 @@ from repro.analysis import (
 )
 from repro.core import communication_volumes
 
-from _harness import emit, get_plans, get_problem, run_once, volume_grid
+from time import perf_counter
+
+from _harness import (
+    emit,
+    get_plans,
+    get_problem,
+    record_throughput,
+    run_once,
+    volume_grid,
+)
 
 SCHEMES = ["flat", "binary", "shifted"]
 
@@ -33,7 +42,9 @@ def test_fig5_colbcast_heatmaps(benchmark):
             for s in SCHEMES
         }
 
+    t0 = perf_counter()
     maps = run_once(benchmark, compute)
+    wall = perf_counter() - t0
 
     # Shared colour scale between flat and shifted, as in the paper.
     vmax = max(maps["flat"].max(), maps["shifted"].max())
@@ -54,6 +65,7 @@ def test_fig5_colbcast_heatmaps(benchmark):
             f"coeff-of-variation={metrics[s]['cv']:.3f}"
         )
         sections.append(render_ascii(maps[s], vmax=vmax if s != "binary" else None))
+    sections.append(record_throughput("fig5_heatmaps", wall_seconds=wall))
     emit("fig5_heatmaps", "\n".join(sections))
 
     assert metrics["flat"]["diag"] > metrics["shifted"]["diag"]

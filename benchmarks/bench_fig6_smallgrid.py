@@ -9,7 +9,9 @@ growth of relative imbalance.
 from repro.analysis import Table, render_ascii
 from repro.runner import VolumeSpec, run_experiments
 
-from _harness import SCALE, default_scale, emit, run_once
+from time import perf_counter
+
+from _harness import SCALE, default_scale, emit, record_throughput, run_once
 
 
 def test_fig6_small_grid_imbalance(benchmark):
@@ -25,7 +27,9 @@ def test_fig6_small_grid_imbalance(benchmark):
         reports = run_experiments(specs)
         return {p: rep.col_bcast_sent() for p, rep in zip(sides, reports)}
 
+    t0 = perf_counter()
     volumes = run_once(benchmark, compute)
+    wall = perf_counter() - t0
 
     table = Table(
         "Fig. 6 -- Flat-Tree Col-Bcast imbalance vs grid size (audikw_1 proxy)",
@@ -43,6 +47,7 @@ def test_fig6_small_grid_imbalance(benchmark):
         "  [paper] 16x16: std = 10.2% of mean; 46x46: 19.2%\n"
         f"\nFlat-Tree heat map on the {sides[0]}x{sides[0]} grid:\n{small_map}"
     )
-    emit("fig6_smallgrid", table.render() + "\n" + note)
+    thr = record_throughput("fig6_smallgrid", wall_seconds=wall)
+    emit("fig6_smallgrid", table.render() + "\n" + note + "\n" + thr)
 
     assert rel[sides[0]] < rel[sides[-1]]

@@ -8,7 +8,16 @@ Binary-Tree map is visibly more balanced than the Flat-Tree map.
 from repro.analysis import render_ascii, uniformity
 from repro.core import communication_volumes
 
-from _harness import emit, get_plans, get_problem, run_once, volume_grid
+from time import perf_counter
+
+from _harness import (
+    emit,
+    get_plans,
+    get_problem,
+    record_throughput,
+    run_once,
+    volume_grid,
+)
 
 SCHEMES = ["flat", "shifted"]
 
@@ -26,7 +35,9 @@ def test_fig7_rowreduce_heatmaps(benchmark):
             for s in SCHEMES
         }
 
+    t0 = perf_counter()
     maps = run_once(benchmark, compute)
+    wall = perf_counter() - t0
 
     vmax = max(m.max() for m in maps.values())
     sections = [
@@ -38,6 +49,9 @@ def test_fig7_rowreduce_heatmaps(benchmark):
         cv[s] = uniformity(maps[s])
         sections.append(f"\n[{s}] coeff-of-variation={cv[s]:.3f}")
         sections.append(render_ascii(maps[s], vmax=vmax))
+    sections.append(
+        record_throughput("fig7_rowreduce_heatmaps", wall_seconds=wall)
+    )
     emit("fig7_rowreduce_heatmaps", "\n".join(sections))
 
     assert cv["shifted"] < cv["flat"]

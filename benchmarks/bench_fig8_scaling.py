@@ -19,6 +19,8 @@ widens with P.  The paper-scale gap factors require the ``paper`` tier
 growing with grid size.
 """
 
+from time import perf_counter
+
 from repro.analysis import ScalingSeries, Table, modeled_superlu_time, speedup_table
 from repro.runner import ExperimentSpec, run_experiments
 from repro.sparse.factor import factorization_flops
@@ -29,6 +31,7 @@ from _harness import (
     emit,
     get_problem,
     progress_printer,
+    record_throughput,
     run_once,
     scaling_processor_counts,
     timing_network,
@@ -96,11 +99,13 @@ def test_fig8_strong_scaling(benchmark):
     def compute():
         # REPRO_JOBS workers; bit-identical to the serial loop this
         # replaced (see tests/test_runner.py and bench_runner_scaling).
-        return collect_series(
-            run_experiments(specs, progress=progress_printer("fig8"))
-        )
+        return run_experiments(specs, progress=progress_printer("fig8"))
 
-    series = run_once(benchmark, compute)
+    t0 = perf_counter()
+    records = run_once(benchmark, compute)
+    wall = perf_counter() - t0
+    series = collect_series(records)
+    total_events = sum(rec.events for rec in records)
 
     flops = factorization_flops(prob.struct)
     nnz_l = prob.struct.factor_nnz()
@@ -135,6 +140,13 @@ def test_fig8_strong_scaling(benchmark):
         "  [paper] binary avg 2.4x (3.4x beyond 1,024P, 6.15x at 12,100P);",
         "  [paper] shifted avg 3.0x (4.5x beyond 1,024P, 8x at 12,100P);",
         "  [paper] std-dev reduced 1.72x (binary) / >4x (shifted) at scale.",
+        "",
+        record_throughput(
+            "fig8_scaling",
+            wall_seconds=wall,
+            events=total_events,
+            extra=dict(specs=len(specs)),
+        ),
     ]
     emit("fig8_scaling", "\n".join(lines))
 

@@ -7,10 +7,20 @@ the two mechanisms: the ratio explodes with P for Flat, and Shifted cuts
 it substantially at the large grid.
 """
 
+from time import perf_counter
+
 from repro.analysis import Table
 from repro.core import ProcessorGrid, SimulatedPSelInv
 
-from _harness import SCALE, emit, get_plans, get_problem, run_once, timing_network
+from _harness import (
+    SCALE,
+    emit,
+    get_plans,
+    get_problem,
+    record_throughput,
+    run_once,
+    timing_network,
+)
 
 GRIDS = [(4, 4), (16, 16)] if SCALE == "quick" else [(16, 16), (32, 32)]
 
@@ -21,6 +31,7 @@ def test_fig9_comm_comp_breakdown(benchmark):
 
     def compute():
         out = {}
+        events = 0
         for shape in GRIDS:
             grid = ProcessorGrid(*shape)
             plans = get_plans(prob, grid)
@@ -29,13 +40,16 @@ def test_fig9_comm_comp_breakdown(benchmark):
                     prob.struct, grid, scheme,
                     network=net, seed=20160523, plans=plans, lookahead=4,
                 ).run()
+                events += res.events
                 out[(grid.size, scheme)] = (
                     res.compute_time,
                     res.communication_time,
                 )
-        return out
+        return out, events
 
-    results = run_once(benchmark, compute)
+    t0 = perf_counter()
+    results, total_events = run_once(benchmark, compute)
+    wall = perf_counter() - t0
 
     table = Table(
         f"Fig. 9 -- computation vs communication (mean per-rank seconds), "
@@ -54,7 +68,10 @@ def test_fig9_comm_comp_breakdown(benchmark):
         "  [paper] flat: 27% comm at P=256 -> 89% at P=4096;\n"
         "  [paper] shifted cuts comm/comp at P=4096 from 11.8 to 1.9."
     )
-    emit("fig9_breakdown", table.render() + "\n" + note)
+    thr = record_throughput(
+        "fig9_breakdown", wall_seconds=wall, events=total_events
+    )
+    emit("fig9_breakdown", table.render() + "\n" + note + "\n" + thr)
 
     p_small = GRIDS[0][0] * GRIDS[0][1]
     p_big = GRIDS[1][0] * GRIDS[1][1]

@@ -30,6 +30,7 @@ from _harness import (
     emit,
     get_plans,
     get_problem,
+    record_throughput,
     run_once,
     volume_grid,
 )
@@ -125,11 +126,17 @@ def test_perf_volume_engine(benchmark):
     )
     table.add("reference", f"{ref_seconds:.3f}", result["reference_collectives_per_sec"])
     table.add("vectorized", f"{vec_seconds:.3f}", result["vectorized_collectives_per_sec"])
+    thr = record_throughput(
+        "bench_perf_volume",
+        wall_seconds=vec_seconds,
+        extra=dict(speedup=result["speedup"], collectives=ncoll),
+    )
     emit(
         "bench_perf_volume",
         table.render()
         + f"\n  speedup: {speedup:.1f}x (floor {MIN_SPEEDUP[SCALE]}x)"
-        + f"\n  tree cache: {cache['hits']} hits / {cache['misses']} misses",
+        + f"\n  tree cache: {cache['hits']} hits / {cache['misses']} misses"
+        + "\n" + thr,
     )
 
     assert speedup >= MIN_SPEEDUP.get(SCALE, 3.0), (

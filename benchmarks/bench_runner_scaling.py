@@ -15,6 +15,12 @@ Two measurements back the runner PR:
    re-creation of the pre-optimization query path (per-call config
    attribute chasing, divisions instead of multiply-by-inverse, tuple
    -keyed jitter memo), reported as DES events/second.
+3. *Telemetry overhead* -- the same reference run timed against a
+   guard-free re-creation of the pre-telemetry :class:`Machine` hot path
+   (no ``recorder is not None`` tests), and with full telemetry
+   (timeline + metrics + hot-spot monitor) enabled.  Disabled telemetry
+   must stay within the 5% overhead budget and must not change the DES
+   outcome; enabled overhead is recorded for reference.
 
 Results land in ``benchmarks/results/BENCH_runner.json``.
 """
@@ -26,8 +32,10 @@ import os
 from time import perf_counter
 
 from repro.analysis import Table
+from repro.obs import Telemetry
 from repro.runner import cache, run_experiments
 from repro.simulate import Network
+from repro.simulate.machine import Machine
 from repro.core import ProcessorGrid, SimulatedPSelInv
 
 from bench_fig8_scaling import sweep_specs
@@ -38,6 +46,7 @@ from _harness import (
     emit,
     get_plans,
     get_problem,
+    record_throughput,
     run_once,
     scaling_processor_counts,
     timing_network,
@@ -94,18 +103,109 @@ class _LegacyNetwork(Network):
         return (lat + nbytes / bw) * self._legacy_pair_jitter(src, dst)
 
 
-def _timed_single_run(network_cls):
-    """One large jittered run under the given Network class; the class is
-    swapped via the simulate module so :class:`SimulatedPSelInv` (and the
-    Machine's pre-bound query methods) pick it up at construction."""
+class _PreTelemetryMachine(Machine):
+    """The pre-telemetry Machine hot path: the same scheduling arithmetic
+    with no recorder guards, for measuring what the ``_rec is not None``
+    tests cost when telemetry is disabled."""
+
+    def post_send(self, src, dst, tag, nbytes, category, payload=None):
+        from repro.simulate.machine import Message, TraceEvent
+
+        nbytes = int(nbytes)
+        msg = Message(src, dst, tag, nbytes, category, payload)
+        sim = self.sim
+        if self._event_log is not None:
+            self._event_log.append(
+                TraceEvent("send", sim.now, src, dst, tag, nbytes)
+            )
+        if src == dst:
+            sim.schedule_at(sim.now, self._deliver, msg)
+            return
+        self.stats.on_send(msg)
+        inj = self._injection_time(nbytes)
+        now = sim.now
+        nic = self._nic_free[src]
+        start = nic if nic > now else now
+        finish = start + inj
+        self._nic_free[src] = finish
+        self.stats._nic_out_busy[src] += inj
+        arrival = finish + self._transit_time(src, dst, nbytes)
+        ch = self._channel_last
+        if self._flat_channels:
+            idx = src * self.nranks + dst
+            if arrival < ch[idx]:
+                arrival = ch[idx]
+            ch[idx] = arrival
+        else:
+            key = (src, dst)
+            last = ch.get(key, 0.0)
+            if arrival < last:
+                arrival = last
+            ch[key] = arrival
+        sim.schedule_at(arrival, self._receive, msg)
+
+    def _receive(self, msg):
+        self.stats.on_receive(msg)
+        dst = msg.dst
+        now = self.sim.now
+        eject = self._ejection_time(msg.nbytes)
+        nic = self._nic_in_free[dst]
+        nic_start = nic if nic > now else now
+        nic_done = nic_start + eject
+        self._nic_in_free[dst] = nic_done
+        self.stats._nic_in_busy[dst] += eject
+        oh = self._recv_overhead
+        cpu = self._cpu_free[dst]
+        start = cpu if cpu > nic_done else nic_done
+        self._cpu_free[dst] = start + oh
+        self.stats._recv_overhead_busy[dst] += oh
+        self.sim.schedule_at(start + oh, self._deliver, msg)
+
+    def _deliver(self, msg):
+        if self._event_log is not None:
+            from repro.simulate.machine import TraceEvent
+
+            self._event_log.append(
+                TraceEvent(
+                    "deliver", self.sim.now, msg.src, msg.dst, msg.tag,
+                    msg.nbytes,
+                )
+            )
+        fn = self._handlers[msg.dst]
+        if fn is None:
+            raise RuntimeError(f"no handler installed on rank {msg.dst}")
+        fn(msg)
+
+    def post_compute(self, rank, seconds, fn=None, *, flops=None, label=None):
+        if flops is not None:
+            seconds = self.network.compute_time(flops)
+        if seconds < 0:
+            raise ValueError("negative compute time")
+        now = self.sim.now
+        cpu = self._cpu_free[rank]
+        start = cpu if cpu > now else now
+        finish = start + seconds
+        self._cpu_free[rank] = finish
+        self.stats._compute_busy[rank] += seconds
+        if fn is not None:
+            self.sim.schedule_at(finish, fn)
+
+
+def _timed_single_run(network_cls, *, machine_cls=Machine, telemetry=None):
+    """One large jittered run under the given Network/Machine classes; the
+    classes are swapped via the pselinv module so :class:`SimulatedPSelInv`
+    (and the Machine's pre-bound query methods) pick them up at
+    construction."""
     import repro.core.pselinv as pselinv_mod
 
     side = scaling_processor_counts()[-1]
     prob = get_problem("audikw_1")
     grid = ProcessorGrid(side, side)
     plans = get_plans(prob, grid)
-    orig = pselinv_mod.Network
+    orig_net = pselinv_mod.Network
+    orig_machine = pselinv_mod.Machine
     pselinv_mod.Network = network_cls
+    pselinv_mod.Machine = machine_cls
     try:
         sim = SimulatedPSelInv(
             prob.struct,
@@ -115,13 +215,19 @@ def _timed_single_run(network_cls):
             seed=20160523,
             plans=plans,
             lookahead=4,
+            telemetry=telemetry,
         )
         t0 = perf_counter()
         res = sim.run()
         dt = perf_counter() - t0
     finally:
-        pselinv_mod.Network = orig
+        pselinv_mod.Network = orig_net
+        pselinv_mod.Machine = orig_machine
     return res, dt
+
+
+def _reference_side() -> int:
+    return scaling_processor_counts()[-1]
 
 
 def test_runner_scaling(benchmark):
@@ -172,13 +278,46 @@ def test_runner_scaling(benchmark):
     res_new, dt_new = _timed_single_run(Network)
     res_old, dt_old = _timed_single_run(_LegacyNetwork)
     net_cmp = dict(
-        run=f"audikw_1 {scaling_processor_counts()[-1]}^2 ranks, shifted, jitter 0.2",
+        run=f"audikw_1 {_reference_side()}^2 ranks, shifted, jitter 0.2",
         events=res_new.events,
         legacy_seconds=round(dt_old, 4),
         slimmed_seconds=round(dt_new, 4),
         legacy_events_per_sec=round(res_old.events / dt_old),
         slimmed_events_per_sec=round(res_new.events / dt_new),
         speedup=round(dt_old / dt_new, 3),
+    )
+
+    # Telemetry overhead on the same reference run.  Best-of-2 for the
+    # two disabled-path variants (they back an assertion; single-run
+    # noise would make a 5% budget flaky), single run for enabled.
+    dt_guarded = min(dt_new, _timed_single_run(Network)[1])
+    res_pre, dt_pre_a = _timed_single_run(Network, machine_cls=_PreTelemetryMachine)
+    dt_pre = min(dt_pre_a, _timed_single_run(
+        Network, machine_cls=_PreTelemetryMachine)[1])
+    nranks = _reference_side() ** 2
+    res_tel, dt_tel = _timed_single_run(
+        Network,
+        telemetry=Telemetry.full(nranks, workload="audikw_1", scheme="shifted"),
+    )
+    tel_cmp = dict(
+        run=net_cmp["run"],
+        pre_telemetry_seconds=round(dt_pre, 4),
+        disabled_seconds=round(dt_guarded, 4),
+        enabled_seconds=round(dt_tel, 4),
+        disabled_overhead_pct=round((dt_guarded / dt_pre - 1) * 100, 2),
+        enabled_overhead_pct=round((dt_tel / dt_pre - 1) * 100, 2),
+        disabled_budget_pct=5.0,
+        outcome_bit_identical=bool(
+            res_tel.events == res_new.events == res_pre.events
+            and res_tel.makespan == res_new.makespan == res_pre.makespan
+        ),
+    )
+
+    throughput_note = record_throughput(
+        "runner_scaling",
+        wall_seconds=base_time,
+        events=total_events,
+        extra=dict(jobs=1, specs=len(specs)),
     )
     lines = [
         table.render(),
@@ -188,6 +327,16 @@ def test_runner_scaling(benchmark):
         f" ({dt_old:.2f}s)",
         f"  slimmed network: {net_cmp['slimmed_events_per_sec']:,}/s"
         f" ({dt_new:.2f}s)  -> {net_cmp['speedup']:.2f}x",
+        "",
+        "telemetry overhead (same reference run):",
+        f"  pre-telemetry machine: {dt_pre:.2f}s",
+        f"  disabled (guards only): {dt_guarded:.2f}s"
+        f"  ({tel_cmp['disabled_overhead_pct']:+.1f}%, budget 5%)",
+        f"  enabled (full bundle):  {dt_tel:.2f}s"
+        f"  ({tel_cmp['enabled_overhead_pct']:+.1f}%)",
+        f"  outcome bit-identical:  {tel_cmp['outcome_bit_identical']}",
+        "",
+        throughput_note,
     ]
     emit("runner_scaling", "\n".join(lines))
 
@@ -200,6 +349,7 @@ def test_runner_scaling(benchmark):
         total_events=total_events,
         sweeps=rows,
         network_hot_path=net_cmp,
+        telemetry_overhead=tel_cmp,
     )
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_runner.json").write_text(
@@ -216,3 +366,7 @@ def test_runner_scaling(benchmark):
     assert dt_new <= dt_old / 0.9
     # Both network variants walk the same event structure.
     assert res_new.events == res_old.events
+    # Telemetry must never perturb the simulated outcome, and the
+    # disabled-telemetry guards must stay inside the 5% overhead budget.
+    assert tel_cmp["outcome_bit_identical"], tel_cmp
+    assert dt_guarded <= dt_pre * 1.05, tel_cmp

@@ -8,8 +8,12 @@ Unlike the figure benches these use real repetition (pytest-benchmark's
 adaptive rounds) since each operation is cheap.
 """
 
+from time import perf_counter
+
 import numpy as np
 import pytest
+
+from _harness import record_throughput
 
 from repro.comm import build_tree
 from repro.core import ProcessorGrid, SimulatedPSelInv, iter_plans
@@ -109,6 +113,7 @@ class TestCommThroughput:
 
     def test_des_message_throughput(self, benchmark):
         """Raw machine throughput: 10k point-to-point messages."""
+        tally = {"events": 0}
 
         def run():
             m = Machine(64, Network(64, NetworkConfig()))
@@ -119,21 +124,37 @@ class TestCommThroughput:
             dst = rng.integers(0, 64, 10_000)
             for s, d in zip(src, dst):
                 m.post_send(int(s), int(d), "t", 1024, "x")
-            return m.run()
+            makespan = m.run()
+            tally["events"] += m.sim.events_processed
+            return makespan
 
+        t0 = perf_counter()
         makespan = benchmark.pedantic(run, rounds=3, iterations=1)
+        wall = perf_counter() - t0
+        print(record_throughput(
+            "substrate_des_messages", wall_seconds=wall, events=tally["events"]
+        ))
         assert makespan > 0
 
     def test_pselinv_symbolic_throughput(self, benchmark, analyzed):
         grid = ProcessorGrid(8, 8)
         plans = list(iter_plans(analyzed.struct, grid))
+        tally = {"events": 0}
 
         def run():
-            return SimulatedPSelInv(
+            res = SimulatedPSelInv(
                 analyzed.struct, grid, "shifted", plans=plans, lookahead=4
             ).run()
+            tally["events"] += res.events
+            return res
 
+        t0 = perf_counter()
         res = benchmark.pedantic(run, rounds=3, iterations=1)
+        wall = perf_counter() - t0
+        print(record_throughput(
+            "substrate_pselinv_symbolic", wall_seconds=wall,
+            events=tally["events"]
+        ))
         assert res.makespan > 0
 
 

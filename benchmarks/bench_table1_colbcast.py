@@ -15,11 +15,14 @@ from repro.analysis import Table
 from repro.core import volume_summary
 from repro.runner import VolumeSpec, run_experiments
 
+from time import perf_counter
+
 from _harness import (
     default_scale,
     emit,
     get_problem,
     paper_note,
+    record_throughput,
     run_once,
     volume_grid,
 )
@@ -49,7 +52,9 @@ def test_table1_colbcast_volume(benchmark):
     def compute():
         return dict(zip(SCHEMES, run_experiments(specs)))
 
+    t0 = perf_counter()
     reports = run_once(benchmark, compute)
+    wall = perf_counter() - t0
 
     table = Table(
         f"Table I -- Col-Bcast sent volume (MB), audikw_1 proxy, "
@@ -69,7 +74,8 @@ def test_table1_colbcast_volume(benchmark):
         + ["binomial: not in the paper -- MPI's standard bcast tree, "
            "included as an extra baseline (binary-like pathology)"]
     )
-    emit("table1_colbcast", table.render() + "\n" + note)
+    thr = record_throughput("table1_colbcast", wall_seconds=wall)
+    emit("table1_colbcast", table.render() + "\n" + note + "\n" + thr)
 
     # The Table I shape must hold at any scale.
     assert stats["binary"]["min"] < stats["flat"]["min"]

@@ -19,7 +19,16 @@ from repro.core import volume_summary
 from repro.runner import VolumeSpec, run_experiments
 from repro.workloads import WORKLOADS, workload_names
 
-from _harness import SCALE, emit, get_problem, run_once, volume_grid
+from time import perf_counter
+
+from _harness import (
+    SCALE,
+    emit,
+    get_problem,
+    record_throughput,
+    run_once,
+    volume_grid,
+)
 
 SCHEMES = ["flat", "binary", "shifted"]
 
@@ -53,7 +62,9 @@ def test_table2_rowreduce_volume(benchmark):
             ][spec.scheme] = rep
         return out
 
+    t0 = perf_counter()
     results = run_once(benchmark, compute)
+    wall = perf_counter() - t0
 
     table = Table(
         f"Table II -- Row-Reduce received volume (MB), {grid.pr}x{grid.pc} grid",
@@ -94,7 +105,8 @@ def test_table2_rowreduce_volume(benchmark):
             f"{n}: n={WORKLOADS[n].paper_n:,}" for n in workload_names()
         )
     )
-    emit("table2_rowreduce", table.render() + "\n" + note)
+    thr = record_throughput("table2_rowreduce", wall_seconds=wall)
+    emit("table2_rowreduce", table.render() + "\n" + note + "\n" + thr)
 
     # Every matrix must show the Binary blow-up / Shifted tightening.
     assert all(shape_ok), shape_ok

@@ -8,6 +8,7 @@ from .concurrency import (
 )
 from .heatmap import (
     diagonal_concentration,
+    message_count_heatmap,
     render_ascii,
     stripe_score,
     uniformity,
@@ -24,6 +25,7 @@ __all__ = [
     "supernode_flops",
     "Table",
     "diagonal_concentration",
+    "message_count_heatmap",
     "modeled_superlu_time",
     "render_ascii",
     "render_histogram",

@@ -18,9 +18,27 @@ __all__ = [
     "diagonal_concentration",
     "stripe_score",
     "uniformity",
+    "message_count_heatmap",
 ]
 
 _SHADES = " .:-=+*#%@"
+
+
+def message_count_heatmap(grid, counts: np.ndarray) -> np.ndarray:
+    """Reshape per-rank *message counts* into the (pr, pc) grid layout.
+
+    Counts are cardinalities, not byte volumes: a float array here means
+    an upstream tally accumulated counts in floating point (the historic
+    ``CommStats._messages_sent`` bug), so the dtype is asserted rather
+    than silently cast.
+    """
+    counts = np.asarray(counts)
+    if not np.issubdtype(counts.dtype, np.integer):
+        raise TypeError(
+            f"message counts must have an integer dtype, got {counts.dtype} "
+            "-- byte volumes belong in ProcessorGrid.volume_heatmap"
+        )
+    return grid.volume_heatmap(counts)
 
 
 def render_ascii(hm: np.ndarray, *, vmax: float | None = None) -> str:

@@ -11,6 +11,10 @@ Commands map one-to-one onto the paper's experiments::
     python -m repro selinv                    # quick numeric demo + check
     python -m repro check                     # communication-correctness
                                               # analyzer (all workloads)
+    python -m repro trace -o out.trace.json   # Perfetto timeline of one
+                                              # DES run (repro.obs)
+    python -m repro hotspots                  # ranked per-rank hot-spot
+                                              # report per scheme
 
 All commands run on the simulated machine; nothing requires MPI.  Sweep
 commands (``scaling``/``bench``/``check``) fan out across a process pool:
@@ -217,6 +221,95 @@ def _cmd_selinv(args) -> int:
     return 0 if max(err, perr) < 1e-9 else 1
 
 
+def _resolve_problem(workload: str, scale: str, max_supernode: int):
+    """Workload name -> analyzed problem, with the quick-tier alias.
+
+    ``laplacian-quick`` / ``laplacian`` is the small seeded 2D grid
+    Laplacian the checker's trace tier uses -- small enough to run a
+    fully-recorded DES in under a second.
+    """
+    from .sparse import analyze
+
+    if workload in ("laplacian-quick", "laplacian"):
+        from .workloads import grid_laplacian_2d
+
+        matrix = grid_laplacian_2d(12, 12, rng=np.random.default_rng(0))
+    else:
+        from .workloads import make_workload
+
+        matrix = make_workload(workload, scale)
+    return analyze(matrix, ordering="nd", max_supernode=max_supernode)
+
+
+def _cmd_trace(args) -> int:
+    """One fully-telemetered DES run exported as Chrome trace JSON."""
+    from .core import ProcessorGrid, SimulatedPSelInv
+    from .obs import Telemetry, validate_chrome_trace
+
+    prob = _resolve_problem(args.workload, args.scale, args.max_supernode)
+    grid = ProcessorGrid(args.grid, args.grid)
+    telemetry = Telemetry.full(
+        grid.size, workload=args.workload, scheme=args.scheme
+    )
+    res = SimulatedPSelInv(
+        prob.struct, grid, args.scheme, seed=args.seed, telemetry=telemetry
+    ).run()
+    trace = telemetry.timeline.write(
+        args.output,
+        workload=args.workload,
+        scheme=args.scheme,
+        grid=f"{grid.pr}x{grid.pc}",
+        seed=args.seed,
+        makespan_seconds=res.makespan,
+        des_events=res.events,
+    )
+    summary = validate_chrome_trace(trace)
+    print(
+        f"wrote {args.output}: {summary['n_events']} trace events, "
+        f"{summary['n_lanes']} lanes, "
+        f"{(summary['ts_max'] - summary['ts_min']) / 1e3:.3f} ms simulated "
+        f"(open in https://ui.perfetto.dev)"
+    )
+    if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w") as fh:
+            json.dump(telemetry.metrics.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_out}")
+    print()
+    print(telemetry.hotspots.report(args.top, label=f"{args.scheme}"))
+    return 0
+
+
+def _cmd_hotspots(args) -> int:
+    """Per-scheme ranked hot-spot report (the live Fig. 5/7 counterpart)."""
+    from .core import ProcessorGrid, SimulatedPSelInv, iter_plans
+    from .obs import HotSpotMonitor, Telemetry
+
+    prob = _resolve_problem(args.workload, args.scale, args.max_supernode)
+    grid = ProcessorGrid(args.grid, args.grid)
+    plans = list(iter_plans(prob.struct, grid))
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    for scheme in schemes:
+        monitor = HotSpotMonitor(grid.size)
+        SimulatedPSelInv(
+            prob.struct,
+            grid,
+            scheme,
+            seed=args.seed,
+            plans=plans,
+            telemetry=Telemetry(hotspots=monitor),
+        ).run()
+        print(
+            monitor.report(
+                args.top, label=f"{args.workload} scheme={scheme}"
+            )
+        )
+        print()
+    return 0
+
+
 def _cmd_check(args) -> int:
     from .check import CODE_DESCRIPTIONS, run_checks
 
@@ -315,6 +408,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("selinv", help="quick numeric correctness demo")
     sp.set_defaults(fn=_cmd_selinv)
+
+    sp = sub.add_parser(
+        "trace",
+        help="run one DES experiment with full telemetry and export a "
+        "Perfetto-loadable Chrome trace (repro.obs)",
+    )
+    sp.add_argument(
+        "--workload",
+        default="laplacian-quick",
+        help="registry workload name or 'laplacian-quick' (default)",
+    )
+    sp.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
+    sp.add_argument("--max-supernode", type=int, default=8)
+    sp.add_argument("-g", "--grid", type=int, default=4)
+    sp.add_argument("--seed", type=int, default=20160523)
+    sp.add_argument("--scheme", default="shifted")
+    sp.add_argument(
+        "-o", "--output", default="out.trace.json",
+        help="trace file to write (Chrome trace-event JSON)",
+    )
+    sp.add_argument(
+        "--metrics-out",
+        default=None,
+        help="also write the metrics-registry snapshot as JSON",
+    )
+    sp.add_argument("-k", "--top", type=int, default=5)
+    sp.set_defaults(fn=_cmd_trace)
+
+    sp = sub.add_parser(
+        "hotspots",
+        help="ranked top-k hottest-rank report per scheme (live Fig. 5/7)",
+    )
+    sp.add_argument(
+        "--workload",
+        default="laplacian-quick",
+        help="registry workload name or 'laplacian-quick' (default)",
+    )
+    sp.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
+    sp.add_argument("--max-supernode", type=int, default=8)
+    sp.add_argument("-g", "--grid", type=int, default=4)
+    sp.add_argument("--seed", type=int, default=20160523)
+    sp.add_argument(
+        "--schemes",
+        default="flat,binary,shifted",
+        help="comma-separated tree schemes to report on",
+    )
+    sp.add_argument("-k", "--top", type=int, default=5)
+    sp.set_defaults(fn=_cmd_hotspots)
 
     sp = sub.add_parser(
         "check",

@@ -65,6 +65,26 @@ class TreeBroadcast:
         self.category = category
         self.on_delivery = on_delivery
         self._started = False
+        # Telemetry instruments, cached once per collective (the machine
+        # carries the registry; None disables at one attribute test).
+        metrics = machine.metrics
+        if metrics is not None:
+            metrics.histogram("coll.depth", op="bcast", category=category).observe(
+                tree.depth()
+            )
+            self._fanout = metrics.histogram(
+                "coll.fanout", op="bcast", category=category
+            )
+            self._forwards = metrics.counter(
+                "coll.forwarded_messages", op="bcast", category=category
+            )
+            self._forward_bytes = metrics.counter(
+                "coll.forwarded_bytes", op="bcast", category=category
+            )
+        else:
+            self._fanout = None
+            self._forwards = None
+            self._forward_bytes = None
 
     def start(self, payload: Any = None) -> None:
         """Called (once) on the root when its data is ready."""
@@ -78,10 +98,16 @@ class TreeBroadcast:
         self._forward(msg.dst, msg.payload)
 
     def _forward(self, rank: int, payload: Any) -> None:
-        for child in self.tree.children.get(rank, ()):
+        children = self.tree.children.get(rank, ())
+        for child in children:
             self.machine.post_send(
                 rank, child, self.tag, self.nbytes, self.category, payload
             )
+        if self._fanout is not None:
+            self._fanout.observe(len(children))
+            if children:
+                self._forwards.inc(len(children))
+                self._forward_bytes.inc(len(children) * self.nbytes)
         self.on_delivery(rank, payload)
 
 
@@ -116,6 +142,24 @@ class TreeReduce:
         self.contributors = set(int(r) for r in contributors)
         self.on_complete = on_complete
         self.combine = combine
+        metrics = machine.metrics
+        if metrics is not None:
+            metrics.histogram("coll.depth", op="reduce", category=category).observe(
+                tree.depth()
+            )
+            self._fanin = metrics.histogram(
+                "coll.fanout", op="reduce", category=category
+            )
+            self._forwards = metrics.counter(
+                "coll.forwarded_messages", op="reduce", category=category
+            )
+            self._forward_bytes = metrics.counter(
+                "coll.forwarded_bytes", op="reduce", category=category
+            )
+        else:
+            self._fanin = None
+            self._forwards = None
+            self._forward_bytes = None
         unknown = self.contributors - set(tree.ranks())
         if unknown:
             raise ValueError(
@@ -166,9 +210,15 @@ class TreeReduce:
 
     def _finish(self, rank: int) -> None:
         self._done[rank] = True
+        if self._fanin is not None:
+            # Fan-in degree: messages this rank absorbed from children.
+            self._fanin.observe(self.tree.child_count(rank))
         if rank == self.tree.root:
             self.on_complete(self._value[rank])
         else:
+            if self._forwards is not None:
+                self._forwards.inc()
+                self._forward_bytes.inc(self.nbytes)
             self.machine.post_send(
                 rank,
                 self.tree.parent[rank],

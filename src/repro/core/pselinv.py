@@ -142,6 +142,7 @@ class SimulatedPSelInv:
         plans: list[SupernodePlan] | None = None,
         tree_cache: dict | None = None,
         event_log: list | None = None,
+        telemetry=None,
     ) -> None:
         self.struct = struct
         self.grid = grid
@@ -165,10 +166,30 @@ class SimulatedPSelInv:
             placement_seed=placement_seed,
             jitter_seed=jitter_seed,
         )
+        # ``telemetry`` (a repro.obs.Telemetry bundle, or None) turns on
+        # the observability layer: network query tallies, machine-level
+        # timeline/hot-spot recording, and simulator loop metrics.  The
+        # network must be instrumented before the machine pre-binds its
+        # queries.
+        self.telemetry = telemetry
+        recorder = metrics = None
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            recorder = telemetry.sink()
+            if metrics is not None:
+                net.instrument(metrics)
         # ``event_log`` (a caller-owned list) enables the machine's
         # structured trace hook; ``repro check`` replays it against the
         # static happens-before model.
-        self.machine = Machine(grid.size, net, event_log=event_log)
+        self.machine = Machine(
+            grid.size,
+            net,
+            event_log=event_log,
+            recorder=recorder,
+            metrics=metrics,
+        )
+        if metrics is not None:
+            self.machine.sim.attach_metrics(metrics)
         if plans is not None:
             self.plans = plans
         else:
@@ -288,7 +309,9 @@ class SimulatedPSelInv:
     def _make_handler(self, rank: int):
         def handler(msg: Message) -> None:
             if self.extra_msg_overhead > 0.0:
-                self.machine.post_compute(rank, self.extra_msg_overhead)
+                self.machine.post_compute(
+                    rank, self.extra_msg_overhead, label="msg-overhead"
+                )
             key = msg.tag
             kind = key[0]
             if kind in ("db", "cb"):
@@ -373,6 +396,7 @@ class SimulatedPSelInv:
                     k, payload
                 ),
                 flops=s**3,
+                label="diag-inv",
             )
             return
         self._gemm_counts(plan)
@@ -416,7 +440,9 @@ class SimulatedPSelInv:
                 else:
                     st.base = None
 
-            self.machine.post_compute(rank, 0.0, fin_base, flops=s**3)
+            self.machine.post_compute(
+                rank, 0.0, fin_base, flops=s**3, label="diag-inv"
+            )
         # Normalize every local L(I,K) block owned by this rank.
         for b in st.norm_blocks.get(rank, ()):
             i = b.snode
@@ -442,7 +468,9 @@ class SimulatedPSelInv:
                     lhat.T if self.numeric else None,
                 )
 
-            self.machine.post_compute(rank, 0.0, fin_norm, flops=s * s * b.nrows)
+            self.machine.post_compute(
+                rank, 0.0, fin_norm, flops=s * s * b.nrows, label="normalize"
+            )
 
     def _raw_l_block(self, k: int, i: int) -> np.ndarray:
         """Slice the raw factor panel block L(I,K) (numeric mode)."""
@@ -493,7 +521,7 @@ class SimulatedPSelInv:
                 red = self.collectives[("rr", k, j)]
                 red.contribute(rank, st.row_partial.pop(keyp, None))
 
-        self.machine.post_compute(rank, 0.0, fin, flops=flops)
+        self.machine.post_compute(rank, 0.0, fin, flops=flops, label="gemm")
 
     def _compute_gemm(self, k: int, i: int, j: int) -> np.ndarray:
         """Numeric contribution  Ainv(J,I)[needed rows, needed cols] @ Lhat(I,K)."""
@@ -556,7 +584,9 @@ class SimulatedPSelInv:
                 red = self.collectives[("cr", k)]
                 red.contribute(dest, st.diag_partial.pop(dest, None))
 
-        self.machine.post_compute(dest, 0.0, fin, flops=2.0 * s * rj * s)
+        self.machine.post_compute(
+            dest, 0.0, fin, flops=2.0 * s * rj * s, label="diag-contrib"
+        )
 
     def _on_cross_back(self, k: int, j: int, rank: int, payload: Any) -> None:
         # Upper Ainv block (K, J): rows = cols(K), cols = block rows of J.
@@ -575,7 +605,9 @@ class SimulatedPSelInv:
             self._mark_ainv_ready((k, k), st.diag_value, plan.diag_owner)
             self._supernode_finished()
 
-        self.machine.post_compute(plan.diag_owner, 0.0, fin, flops=float(s * s))
+        self.machine.post_compute(
+            plan.diag_owner, 0.0, fin, flops=float(s * s), label="finish-diag"
+        )
 
     # -- driver ------------------------------------------------------------------
 

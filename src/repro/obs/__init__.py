@@ -1,0 +1,99 @@
+"""Telemetry subsystem: timelines, metrics, and hot-spot monitoring.
+
+The observability layer from ISSUE 5, three pillars in three modules:
+
+* :mod:`repro.obs.timeline` -- per-rank timeline recording exported as
+  Chrome trace-event JSON (Perfetto / ``chrome://tracing``);
+* :mod:`repro.obs.metrics` -- labeled counter/gauge/histogram registry
+  with deterministic snapshots and cross-worker merging;
+* :mod:`repro.obs.hotspot` -- streaming per-rank imbalance statistics
+  (max/mean, p99/median, Gini) and ranked top-k hot-rank reports.
+
+Everything here is **off by default**: the simulator, machine, network,
+and collectives only touch telemetry through ``is not None`` guards on
+attributes that default to ``None``, so disabled runs execute the exact
+pre-telemetry instruction stream and outcomes are bit-identical
+(``tests/test_obs.py`` pins this against a seed-pinned run).
+
+:class:`Telemetry` is the one-stop bundle the high-level entry points
+accept (``SimulatedPSelInv(..., telemetry=...)``, the ``repro trace`` /
+``repro hotspots`` CLI, and the runner's ``ExperimentSpec.telemetry``
+flag): construct it with the pillars you want and pass it down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .hotspot import HotSpotMonitor, gini, imbalance_stats
+from .metrics import (
+    NULL_SINK,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    merge_snapshots,
+)
+from .timeline import (
+    LANE_NAMES,
+    PHASE_KINDS,
+    CompositeSink,
+    TelemetrySink,
+    TimelineRecorder,
+)
+from .trace_schema import TraceSchemaError, validate_chrome_trace, validate_trace_file
+
+__all__ = [
+    "Telemetry",
+    "TelemetrySink",
+    "CompositeSink",
+    "TimelineRecorder",
+    "LANE_NAMES",
+    "PHASE_KINDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_SINK",
+    "merge_snapshots",
+    "HotSpotMonitor",
+    "gini",
+    "imbalance_stats",
+    "TraceSchemaError",
+    "validate_chrome_trace",
+    "validate_trace_file",
+]
+
+
+@dataclass
+class Telemetry:
+    """Bundle of enabled telemetry pillars, passed to run entry points.
+
+    Any pillar may be ``None`` (disabled).  :meth:`sink` derives the
+    single machine-side recorder -- one pillar directly, several behind
+    a :class:`CompositeSink`, or ``None`` when no timeline-style pillar
+    is active (the machine then skips recording entirely).
+    """
+
+    metrics: MetricsRegistry | None = None
+    timeline: TimelineRecorder | None = None
+    hotspots: HotSpotMonitor | None = None
+
+    @classmethod
+    def full(cls, nranks: int, **common_labels) -> "Telemetry":
+        """All three pillars enabled (trace CLI / tests convenience)."""
+        return cls(
+            metrics=MetricsRegistry(**common_labels),
+            timeline=TimelineRecorder(nranks),
+            hotspots=HotSpotMonitor(nranks),
+        )
+
+    def sink(self) -> TelemetrySink | None:
+        sinks = [s for s in (self.timeline, self.hotspots) if s is not None]
+        if not sinks:
+            return None
+        if len(sinks) == 1:
+            return sinks[0]
+        return CompositeSink(sinks)

@@ -1,0 +1,156 @@
+"""Streaming per-rank hot-spot monitor and imbalance statistics.
+
+The telemetry subsystem's third pillar (ISSUE 5): the live counterpart
+of the paper's Fig. 5/7 per-rank volume heatmaps.  A
+:class:`HotSpotMonitor` rides the machine telemetry hook and accumulates
+sent/received bytes per ``(rank, category)`` while the DES runs; at any
+point :meth:`HotSpotMonitor.imbalance` reduces a category (or the total)
+to the classic load-balance figures of merit:
+
+* **max/mean** -- the paper's headline imbalance ratio (1.0 = perfectly
+  balanced; the flat scheme's Col-Bcast roots push this far above 1);
+* **p99/median** -- tail heaviness, robust to a single outlier rank;
+* **Gini** -- distribution-wide inequality in [0, 1).
+
+:meth:`HotSpotMonitor.top_ranks` ranks the k hottest ranks for a
+category, and :meth:`HotSpotMonitor.report` renders the CLI table for
+``repro hotspots``.  The sent-byte tallies reproduce
+:class:`~repro.simulate.machine.CommStats` exactly (same hook, same
+increments), so the ranking provably agrees with the Fig. 5 heatmap
+pipeline -- ``tests/test_obs.py`` locks that in for the flat, binary,
+and shifted schemes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .timeline import TelemetrySink
+
+__all__ = ["imbalance_stats", "gini", "HotSpotMonitor"]
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a nonnegative 1-D load vector (0 = equal)."""
+    v = np.sort(np.asarray(values, dtype=float))
+    n = v.size
+    total = v.sum()
+    if n == 0 or total == 0.0:
+        return 0.0
+    # Mean absolute difference formulation via the sorted prefix weights.
+    weights = np.arange(1, n + 1, dtype=float)
+    return float((2.0 * np.dot(weights, v) / (n * total)) - (n + 1.0) / n)
+
+
+def imbalance_stats(values: np.ndarray) -> dict[str, float]:
+    """The monitor's figures of merit for one per-rank load vector."""
+    v = np.asarray(values, dtype=float)
+    mean = float(v.mean()) if v.size else 0.0
+    vmax = float(v.max()) if v.size else 0.0
+    median = float(np.median(v)) if v.size else 0.0
+    p99 = float(np.percentile(v, 99)) if v.size else 0.0
+    return {
+        "max": vmax,
+        "mean": mean,
+        "median": median,
+        "p99": p99,
+        "max_over_mean": vmax / mean if mean else 0.0,
+        "p99_over_median": p99 / median if median else 0.0,
+        "gini": gini(v),
+    }
+
+
+class HotSpotMonitor(TelemetrySink):
+    """Accumulates per-rank, per-category byte loads as the DES runs."""
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = nranks
+        self._sent: dict[str, list] = {}
+        self._received: dict[str, list] = {}
+
+    def _get(self, table: dict[str, list], category: str) -> list:
+        arr = table.get(category)
+        if arr is None:
+            arr = [0] * self.nranks
+            table[category] = arr
+        return arr
+
+    # -- machine hooks -------------------------------------------------------
+
+    def record_send(self, msg, post_time, inj_start, inj_end, arrival) -> None:
+        self._get(self._sent, msg.category)[msg.src] += msg.nbytes
+
+    def record_receive(self, msg, eject_start, eject_end, oh_start, oh_end) -> None:
+        self._get(self._received, msg.category)[msg.dst] += msg.nbytes
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def categories(self) -> list[str]:
+        return sorted(self._sent.keys() | self._received.keys())
+
+    def sent(self, category: str | None = None) -> np.ndarray:
+        """Bytes sent per rank (one category, or all categories summed)."""
+        return self._load(self._sent, category)
+
+    def received(self, category: str | None = None) -> np.ndarray:
+        """Bytes received per rank (one category, or all summed)."""
+        return self._load(self._received, category)
+
+    def _load(self, table: dict[str, list], category: str | None) -> np.ndarray:
+        if category is not None:
+            return np.asarray(table.get(category, [0] * self.nranks), dtype=np.int64)
+        out = np.zeros(self.nranks, dtype=np.int64)
+        for arr in table.values():
+            out += np.asarray(arr, dtype=np.int64)
+        return out
+
+    def col_bcast_sent(self) -> np.ndarray:
+        """Fig. 5's load vector: column-broadcast + diagonal-broadcast
+        bytes sent per rank (matches ``VolumeReport.col_bcast_sent``)."""
+        return self.sent("col-bcast") + self.sent("diag-bcast")
+
+    def row_reduce_sent(self) -> np.ndarray:
+        """Fig. 7's load vector: row-reduce bytes sent per rank."""
+        return self.sent("row-reduce")
+
+    def imbalance(self, category: str | None = None, *, direction="sent"):
+        """Imbalance statistics for one category (None = total)."""
+        load = self.sent(category) if direction == "sent" else self.received(category)
+        return imbalance_stats(load)
+
+    def top_ranks(
+        self, k: int = 5, category: str | None = None, *, direction: str = "sent"
+    ) -> list[tuple[int, int]]:
+        """The ``k`` hottest ``(rank, bytes)`` pairs, hottest first.
+
+        Ties break toward the lower rank (stable argsort on the negated
+        load), so the ranking is deterministic.
+        """
+        load = self.sent(category) if direction == "sent" else self.received(category)
+        order = np.argsort(-load, kind="stable")[:k]
+        return [(int(r), int(load[r])) for r in order]
+
+    # -- CLI report ----------------------------------------------------------
+
+    def report(self, k: int = 5, *, label: str = "") -> str:
+        """Ranked top-k table per category plus imbalance statistics."""
+        lines = []
+        title = f"hot-spot report{f' ({label})' if label else ''}"
+        lines.append(title)
+        lines.append("=" * len(title))
+        for category in [None, *self.categories]:
+            name = category if category is not None else "TOTAL"
+            stats = self.imbalance(category)
+            lines.append(
+                f"{name}: max/mean {stats['max_over_mean']:.2f}  "
+                f"p99/median {stats['p99_over_median']:.2f}  "
+                f"gini {stats['gini']:.3f}"
+            )
+            for pos, (rank, nbytes) in enumerate(self.top_ranks(k, category), 1):
+                share = nbytes / stats["max"] if stats["max"] else 0.0
+                bar = "#" * int(round(20 * share))
+                lines.append(
+                    f"  {pos}. rank {rank:>4}  {nbytes:>14,} B  {bar}"
+                )
+        return "\n".join(lines)

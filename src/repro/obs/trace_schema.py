@@ -1,0 +1,144 @@
+"""Structural validation of exported Chrome trace-event JSON.
+
+Shared by the test suite and the CI trace-smoke step: after ``repro
+trace`` writes a ``.trace.json``, :func:`validate_chrome_trace` loads it
+back and checks the invariants Perfetto / ``chrome://tracing`` rely on:
+
+* top-level object with a ``traceEvents`` list;
+* every event carries ``ph``/``pid``/``tid``/``ts`` with sane types;
+* ``X`` (complete) events carry a nonnegative ``dur``;
+* flow (``s``/``f``) and async (``b``/``e``) events carry an ``id``,
+  and every flow/async id that starts also finishes;
+* within each ``(pid, tid)`` lane, timestamps are nondecreasing.
+
+Violations raise :class:`TraceSchemaError` with a message naming the
+offending event, so CI failures are directly actionable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["TraceSchemaError", "validate_chrome_trace", "validate_trace_file"]
+
+_REQUIRED = ("ph", "pid", "tid", "ts")
+_KNOWN_PHASES = frozenset("XBEbeisfMC")
+
+
+class TraceSchemaError(ValueError):
+    """The trace object violates the Chrome trace-event format."""
+
+
+def _fail(i: int, event: dict, why: str) -> None:
+    raise TraceSchemaError(f"traceEvents[{i}] {why}: {event!r}")
+
+
+def validate_chrome_trace(trace: Any) -> dict[str, Any]:
+    """Validate a loaded trace object; returns summary statistics.
+
+    The summary (event counts per phase, lanes seen, time span) doubles
+    as the CI step's human-readable digest.
+    """
+    if not isinstance(trace, dict):
+        raise TraceSchemaError("trace must be a JSON object with traceEvents")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise TraceSchemaError("traceEvents must be a non-empty list")
+
+    last_ts: dict[tuple, float] = {}
+    # Flow/async pairing is checked after the loop: events are sorted by
+    # lane, so a finish may legitimately precede its start in file order
+    # (Perfetto pairs by id, not position).
+    flow_starts: dict[Any, list] = {}
+    flow_finishes: dict[Any, list] = {}
+    open_async: dict[tuple, int] = {}
+    phase_counts: dict[str, int] = {}
+    lanes: set[tuple] = set()
+    t_min = t_max = None
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            _fail(i, {"event": ev}, "is not an object")
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in _KNOWN_PHASES:
+            _fail(i, ev, f"unknown phase {ph!r}")
+        phase_counts[ph] = phase_counts.get(ph, 0) + 1
+        if ph == "M":
+            # Metadata events need no timestamp (Chrome format allows it).
+            if "name" not in ev or "args" not in ev or "pid" not in ev:
+                _fail(i, ev, "metadata event missing name/args/pid")
+            continue
+        for key in _REQUIRED:
+            if key not in ev:
+                _fail(i, ev, f"missing required key {key!r}")
+        if not isinstance(ev["pid"], int) or not isinstance(ev["tid"], int):
+            _fail(i, ev, "pid/tid must be integers")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            _fail(i, ev, "ts must be a nonnegative number")
+        lane = (ev["pid"], ev["tid"])
+        lanes.add(lane)
+        prev = last_ts.get(lane)
+        if prev is not None and ts < prev:
+            _fail(i, ev, f"ts decreases within lane {lane} ({ts} < {prev})")
+        last_ts[lane] = ts
+        end = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                _fail(i, ev, "complete event needs a nonnegative dur")
+            end = ts + dur
+        elif ph in "sfbe":
+            if "id" not in ev:
+                _fail(i, ev, "flow/async event missing id")
+            if ph == "s":
+                flow_starts.setdefault(ev["id"], []).append(ts)
+            elif ph == "f":
+                flow_finishes.setdefault(ev["id"], []).append(ts)
+            elif ph == "b":
+                key = (ev.get("cat"), ev["id"])
+                open_async[key] = open_async.get(key, 0) + 1
+            else:  # "e"
+                key = (ev.get("cat"), ev["id"])
+                n = open_async.get(key, 0)
+                if n <= 0:
+                    _fail(i, ev, "async end without a matching begin")
+                open_async[key] = n - 1
+        t_min = ts if t_min is None or ts < t_min else t_min
+        t_max = end if t_max is None or end > t_max else t_max
+
+    orphans = sorted(str(k) for k in flow_finishes if k not in flow_starts)
+    if orphans:
+        raise TraceSchemaError(f"flow finishes without starts: {orphans[:5]}")
+    for fid, starts in flow_starts.items():
+        finishes = flow_finishes.get(fid, [])
+        if len(finishes) != len(starts):
+            raise TraceSchemaError(
+                f"flow id {fid!r}: {len(starts)} start(s) but "
+                f"{len(finishes)} finish(es)"
+            )
+        if finishes and min(finishes) < min(starts):
+            raise TraceSchemaError(
+                f"flow id {fid!r} finishes before it starts "
+                f"({min(finishes)} < {min(starts)})"
+            )
+    dangling = sorted(str(k) for k, n in open_async.items() if n)
+    if dangling:
+        raise TraceSchemaError(f"unterminated async spans: {dangling[:5]}")
+
+    return {
+        "n_events": len(events),
+        "phase_counts": {k: phase_counts[k] for k in sorted(phase_counts)},
+        "n_lanes": len(lanes),
+        "pids": sorted({pid for pid, _ in lanes}),
+        "ts_min": t_min,
+        "ts_max": t_max,
+    }
+
+
+def validate_trace_file(path) -> dict[str, Any]:
+    """Load ``path`` as JSON and :func:`validate_chrome_trace` it."""
+    with open(path) as fh:
+        trace = json.load(fh)
+    return validate_chrome_trace(trace)

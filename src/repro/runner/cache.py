@@ -34,6 +34,7 @@ __all__ = [
     "problem_key_of",
     "prewarm",
     "cache_info",
+    "cache_stats",
     "clear",
 ]
 
@@ -42,6 +43,17 @@ _PROBLEM_KEYS: dict[int, tuple] = {}  # id(problem) -> memo key, O(1)
 _PLANS: dict[tuple, list] = {}
 _TREE_CACHES: dict[tuple, dict] = {}
 
+# Hit/miss tallies per table (telemetry reads these via cache_stats();
+# plain ints, reset by clear()).
+_STATS = {
+    "problem_hits": 0,
+    "problem_misses": 0,
+    "plan_hits": 0,
+    "plan_misses": 0,
+    "tree_cache_hits": 0,
+    "tree_cache_misses": 0,
+}
+
 
 def get_problem(
     workload: str, scale: str = "small", max_supernode: int = 8
@@ -49,16 +61,19 @@ def get_problem(
     """Memoized workload generation + symbolic analysis."""
     key = (workload, scale, max_supernode)
     prob = _PROBLEMS.get(key)
-    if prob is None:
-        from ..sparse import analyze
-        from ..workloads import make_workload
+    if prob is not None:
+        _STATS["problem_hits"] += 1
+        return prob
+    _STATS["problem_misses"] += 1
+    from ..sparse import analyze
+    from ..workloads import make_workload
 
-        matrix = make_workload(workload, scale)
-        prob = analyze(matrix, ordering="nd", max_supernode=max_supernode)
-        _PROBLEMS[key] = prob
-        # In-process reverse map only; ids never leave this process and
-        # entries are never evicted, so the id stays valid for the key.
-        _PROBLEM_KEYS[id(prob)] = key  # det: allow(DET003)
+    matrix = make_workload(workload, scale)
+    prob = analyze(matrix, ordering="nd", max_supernode=max_supernode)
+    _PROBLEMS[key] = prob
+    # In-process reverse map only; ids never leave this process and
+    # entries are never evicted, so the id stays valid for the key.
+    _PROBLEM_KEYS[id(prob)] = key  # det: allow(DET003)
     return prob
 
 
@@ -83,8 +98,11 @@ def get_plans(prob: "AnalyzedProblem", grid: "ProcessorGrid") -> list:
     key = (*pkey, grid.pr, grid.pc)
     plans = _PLANS.get(key)
     if plans is None:
+        _STATS["plan_misses"] += 1
         plans = list(iter_plans(prob.struct, grid))
         _PLANS[key] = plans
+    else:
+        _STATS["plan_hits"] += 1
     return plans
 
 
@@ -108,8 +126,11 @@ def get_tree_cache(
     key = (*pkey, grid.pr, grid.pc, scheme, seed, hybrid_threshold)
     cache = _TREE_CACHES.get(key)
     if cache is None:
+        _STATS["tree_cache_misses"] += 1
         cache = {}
         _TREE_CACHES[key] = cache
+    else:
+        _STATS["tree_cache_hits"] += 1
     return cache
 
 
@@ -141,9 +162,16 @@ def cache_info() -> dict[str, int]:
     }
 
 
+def cache_stats() -> dict[str, int]:
+    """Cumulative hit/miss tallies per table (this process only)."""
+    return dict(_STATS)
+
+
 def clear() -> None:
     """Drop every cached problem, plan list, and tree cache."""
     _PROBLEMS.clear()
     _PROBLEM_KEYS.clear()
     _PLANS.clear()
     _TREE_CACHES.clear()
+    for k in _STATS:
+        _STATS[k] = 0

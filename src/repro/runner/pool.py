@@ -129,6 +129,19 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
     tree_cache = cache.get_tree_cache(
         prob, grid, spec.scheme, spec.seed, spec.hybrid_threshold
     )
+    telemetry = None
+    if spec.telemetry:
+        from ..obs import HotSpotMonitor, MetricsRegistry, Telemetry
+
+        telemetry = Telemetry(
+            metrics=MetricsRegistry(
+                workload=spec.workload, scheme=spec.scheme
+            ),
+            hotspots=HotSpotMonitor(grid.size),
+        )
+    # Host wall clock for throughput metrics only -- never enters the
+    # simulated outcome.
+    t0 = perf_counter()  # det: allow(DET003)
     res = SimulatedPSelInv(
         prob.struct,
         grid,
@@ -142,8 +155,26 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
         lookahead=spec.lookahead,
         plans=plans,
         tree_cache=tree_cache,
+        telemetry=telemetry,
     ).run(max_events=spec.max_events)
-    return RunRecord.from_result(spec, res)
+    wall = perf_counter() - t0  # det: allow(DET003)
+    record = RunRecord.from_result(spec, res)
+    record.wall_seconds = wall
+    if telemetry is not None:
+        reg = telemetry.metrics
+        reg.counter("runner.experiments").inc()
+        reg.counter("runner.wall_seconds_total").inc(wall)
+        for name, count in cache.cache_stats().items():
+            reg.gauge(f"runner.cache_{name}").update_max(count)
+        mon = telemetry.hotspots
+        # "TOTAL" keys the all-category aggregate (JSON-safe, unlike None).
+        cats = {"TOTAL": None, **{c: c for c in mon.categories}}
+        record.metrics = {
+            "snapshot": reg.snapshot(),
+            "hotspots": {name: mon.imbalance(c) for name, c in cats.items()},
+            "top_ranks": {name: mon.top_ranks(5, c) for name, c in cats.items()},
+        }
+    return record
 
 
 def run_volume(spec: VolumeSpec):

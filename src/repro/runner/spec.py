@@ -57,6 +57,11 @@ class ExperimentSpec:
     per_message_cpu_overhead: float = 0.0
     max_events: int | None = None
     label: str = ""
+    # Enable the observability layer (repro.obs) for this run: the worker
+    # attaches a metrics registry + hot-spot monitor and ships the
+    # snapshot back in ``RunRecord.metrics``.  Off by default; the
+    # simulated outcome is bit-identical either way.
+    telemetry: bool = False
 
     def describe(self) -> str:
         """One line naming the experiment (used in progress and errors)."""
@@ -116,6 +121,14 @@ class RunRecord:
     recv_overhead_busy: np.ndarray = field(default_factory=lambda: np.zeros(0))
     nic_out_busy: np.ndarray = field(default_factory=lambda: np.zeros(0))
     nic_in_busy: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    # Observability payload (populated when ``spec.telemetry``): the
+    # worker-side metrics snapshot plus derived hot-spot statistics.
+    # Host-dependent (wall clock), so deliberately excluded from
+    # :meth:`same_outcome`.
+    metrics: dict = field(default_factory=dict)
+    # Host wall-clock seconds the worker spent in the DES (always
+    # recorded; excluded from :meth:`same_outcome` for the same reason).
+    wall_seconds: float = 0.0
 
     @classmethod
     def from_result(cls, spec: ExperimentSpec, res: "PSelInvResult") -> "RunRecord":

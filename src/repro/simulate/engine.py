@@ -15,6 +15,7 @@ an argument avoids allocating a closure per event.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable
 
 __all__ = ["Simulator"]
@@ -37,11 +38,22 @@ class Simulator:
         self._queue: list[tuple[float, int, Callable[..., Any], Any]] = []
         self._seq = 0
         self._events_processed = 0
+        # Optional telemetry (a MetricsRegistry); None keeps the default
+        # loop untouched -- run() only branches once, before draining.
+        self._metrics = None
 
     @property
     def events_processed(self) -> int:
         """Number of callbacks executed so far (for perf reporting)."""
         return self._events_processed
+
+    def attach_metrics(self, registry) -> None:
+        """Enable loop telemetry: events/sec and queue-depth high-water.
+
+        The wall-clock read is observation-only (it never feeds back into
+        the virtual clock), so determinism of outcomes is preserved.
+        """
+        self._metrics = registry
 
     def schedule(
         self, delay: float, fn: Callable[..., Any], arg: Any = _NO_ARG
@@ -68,6 +80,8 @@ class Simulator:
         ``until`` stops the clock at a horizon (events beyond it stay
         queued); ``max_events`` guards against runaway simulations.
         """
+        if self._metrics is not None:
+            return self._run_instrumented(until, max_events)
         queue = self._queue
         pop = heapq.heappop
         no_arg = _NO_ARG
@@ -87,6 +101,51 @@ class Simulator:
                 fn()
             else:
                 fn(arg)
+        return self.now
+
+    def _run_instrumented(
+        self, until: float | None, max_events: int | None
+    ) -> float:
+        """The :meth:`run` loop plus telemetry (metrics attached).
+
+        A separate copy so the default loop carries zero extra work; this
+        one additionally tracks the queue-depth high-water mark and, at
+        the end, wall-clock throughput.  Only wall time is read -- the
+        event order and virtual clock are untouched.
+        """
+        metrics = self._metrics
+        queue = self._queue
+        pop = heapq.heappop
+        no_arg = _NO_ARG
+        depth_hw = len(queue)
+        start_events = self._events_processed
+        start_wall = time.perf_counter()  # det: allow(DET003) observation-only
+        while queue:
+            if max_events is not None and self._events_processed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events -- likely a "
+                    "protocol bug (deadlock would drain, livelock would not)"
+                )
+            depth = len(queue)
+            if depth > depth_hw:
+                depth_hw = depth
+            t = queue[0][0]
+            if until is not None and t > until:
+                break
+            _, _, fn, arg = pop(queue)
+            self.now = t
+            self._events_processed += 1
+            if arg is no_arg:
+                fn()
+            else:
+                fn(arg)
+        wall = time.perf_counter() - start_wall  # det: allow(DET003)
+        n = self._events_processed - start_events
+        metrics.counter("sim.events").inc(n)
+        metrics.gauge("sim.queue_depth_high_water").update_max(depth_hw)
+        metrics.gauge("sim.wall_seconds").set(wall)
+        if wall > 0.0:
+            metrics.gauge("sim.events_per_sec").set(n / wall)
         return self.now
 
     def pending(self) -> int:

@@ -81,7 +81,9 @@ class CommStats:
         self.nranks = nranks
         self._sent: dict[str, list[float]] = {}
         self._received: dict[str, list[float]] = {}
-        self._messages_sent: dict[str, list[float]] = {}
+        # Message *counts* are integers and stay integers all the way to
+        # the read-out (the heat-map layer asserts the dtype).
+        self._messages_sent: dict[str, list[int]] = {}
         self._compute_busy = [0.0] * nranks
         self._recv_overhead_busy = [0.0] * nranks
         self._nic_out_busy = [0.0] * nranks
@@ -96,9 +98,16 @@ class CommStats:
             table[category] = arr
         return arr
 
+    def _get_counts(self, table: dict[str, list[int]], category: str) -> list[int]:
+        arr = table.get(category)
+        if arr is None:
+            arr = [0] * self.nranks
+            table[category] = arr
+        return arr
+
     def on_send(self, msg: Message) -> None:
         self._get(self._sent, msg.category)[msg.src] += msg.nbytes
-        self._get(self._messages_sent, msg.category)[msg.src] += 1
+        self._get_counts(self._messages_sent, msg.category)[msg.src] += 1
 
     def on_receive(self, msg: Message) -> None:
         self._get(self._received, msg.category)[msg.dst] += msg.nbytes
@@ -115,7 +124,11 @@ class CommStats:
 
     @property
     def messages_sent(self) -> dict[str, np.ndarray]:
-        return {k: np.asarray(v) for k, v in self._messages_sent.items()}
+        """Per-rank message counts by category (integer dtype)."""
+        return {
+            k: np.asarray(v, dtype=np.int64)
+            for k, v in self._messages_sent.items()
+        }
 
     @property
     def compute_busy(self) -> np.ndarray:
@@ -167,6 +180,8 @@ class Machine:
         sim: Simulator | None = None,
         *,
         event_log: list | None = None,
+        recorder=None,
+        metrics=None,
     ):
         if network.nranks < nranks:
             raise ValueError("network sized for fewer ranks than requested")
@@ -177,6 +192,14 @@ class Machine:
         # Optional structured trace: when a list is supplied, every send
         # and delivery appends a TraceEvent.  Off (None) on the hot path.
         self._event_log = event_log
+        # Optional telemetry sink (a repro.obs.TelemetrySink, duck-typed
+        # so the simulator never imports the obs package): receives the
+        # same times the machine computes for its own scheduling.  Off
+        # (None) on the hot path -- one identity test per message.
+        self._rec = recorder
+        # Optional MetricsRegistry, exposed so the protocol layers
+        # (collectives) can cache instruments at construction.
+        self.metrics = metrics
         # Resource availability clocks (plain lists -- hot path).
         self._nic_free = [0.0] * nranks  # outgoing (injection) port
         self._nic_in_free = [0.0] * nranks  # incoming (ejection) port
@@ -236,6 +259,8 @@ class Machine:
                 TraceEvent("send", sim.now, src, dst, tag, nbytes)
             )
         if src == dst:
+            if self._rec is not None:
+                self._rec.record_local(msg, sim.now)
             sim.schedule_at(sim.now, self._deliver, msg)
             return
         self.stats.on_send(msg)
@@ -260,6 +285,8 @@ class Machine:
             if arrival < last:
                 arrival = last
             ch[key] = arrival
+        if self._rec is not None:
+            self._rec.record_send(msg, now, start, finish, arrival)
         sim.schedule_at(arrival, self._receive, msg)
 
     def _receive(self, msg: Message) -> None:
@@ -280,9 +307,13 @@ class Machine:
         start = cpu if cpu > nic_done else nic_done
         self._cpu_free[dst] = start + oh
         self.stats._recv_overhead_busy[dst] += oh
+        if self._rec is not None:
+            self._rec.record_receive(msg, nic_start, nic_done, start, start + oh)
         self.sim.schedule_at(start + oh, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:
+        if self._rec is not None:
+            self._rec.record_deliver(msg, self.sim.now)
         if self._event_log is not None:
             self._event_log.append(
                 TraceEvent(
@@ -304,9 +335,11 @@ class Machine:
         fn: Callable[[], None] | None = None,
         *,
         flops: float | None = None,
+        label: str | None = None,
     ) -> None:
         """Occupy ``rank``'s CPU for ``seconds`` (or a flop count), then
-        run ``fn`` at completion."""
+        run ``fn`` at completion.  ``label`` names the task on the
+        telemetry timeline (ignored when no recorder is attached)."""
         if flops is not None:
             seconds = self.network.compute_time(flops)
         if seconds < 0:
@@ -317,6 +350,8 @@ class Machine:
         finish = start + seconds
         self._cpu_free[rank] = finish
         self.stats._compute_busy[rank] += seconds
+        if self._rec is not None:
+            self._rec.record_compute(rank, start, finish, label)
         if fn is not None:
             self.sim.schedule_at(finish, fn)
 
