@@ -1,0 +1,63 @@
+"""Dev helper: paired batch/legacy timing on the reference run.
+
+Alternates the two engines and reports the median per-pair ratio, which
+is robust against the CPU frequency drift that makes single-shot
+wall-clock numbers on shared hosts swing by 20%+.  Used interactively
+while tuning; the recorded benchmark lives in bench_runner_scaling.py.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+from time import perf_counter
+
+from repro.core import ProcessorGrid, SimulatedPSelInv
+from _harness import (
+    get_plans,
+    get_problem,
+    scaling_processor_counts,
+    timing_network,
+)
+
+
+def reference_run(engine: str):
+    side = scaling_processor_counts()[-1]
+    prob = get_problem("audikw_1")
+    grid = ProcessorGrid(side, side)
+    plans = get_plans(prob, grid)
+    sim = SimulatedPSelInv(
+        prob.struct,
+        grid,
+        "shifted",
+        network=timing_network(jitter_sigma=0.2),
+        seed=20160523,
+        plans=plans,
+        lookahead=4,
+        engine=engine,
+    )
+    t0 = perf_counter()
+    res = sim.run()
+    return res, perf_counter() - t0
+
+
+def main(pairs: int = 4) -> None:
+    ratios = []
+    tl_all, tb_all = [], []
+    rl = rb = None
+    for i in range(pairs):
+        rl, tl = reference_run("legacy")
+        rb, tb = reference_run("batch")
+        tl_all.append(tl)
+        tb_all.append(tb)
+        ratios.append(tl / tb)
+        print(f"pair {i}: legacy {tl:.2f}s  batch {tb:.2f}s  ratio {tl/tb:.2f}x")
+    med = statistics.median(ratios)
+    tl, tb = min(tl_all), min(tb_all)
+    print(f"median ratio {med:.2f}x   best legacy {rl.events/tl:,.0f} ev/s"
+          f"   best batch {rb.events/tb:,.0f} ev/s")
+    print(f"identical: {rl.events == rb.events and rl.makespan == rb.makespan}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

@@ -1,0 +1,112 @@
+"""Per-engine bit-identity smoke over the Fig. 8 quick sweep.
+
+Runs the exact Fig. 8 sweep specs once under ``engine="legacy"`` and
+once under ``engine="batch"`` and asserts every
+:class:`~repro.runner.RunRecord` pair agrees bitwise
+(:meth:`RunRecord.same_outcome`: makespan, event count, compute and
+communication split, and every per-rank byte/message/busy-time array).
+This is the CI guard for the batch-dispatch engine: the calendar-queue
+scheduler is an optimization, never a behavior change.
+
+Run from ``benchmarks/`` with ``PYTHONPATH=../src:.``:
+
+    REPRO_BENCH_SCALE=quick python check_engine_identity.py --limit 12
+
+``--limit`` caps the spec count for CI time budgets (specs are ordered
+smallest grid first, so a prefix still covers every scheme).  Exits
+non-zero and names the offending specs on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from time import perf_counter
+
+from bench_fig8_scaling import sweep_specs
+
+from repro.runner import run_experiments
+
+ENGINES = ("legacy", "batch")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="cap the number of sweep specs (CI time budget)",
+    )
+    ap.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per sweep (default: REPRO_JOBS / all cores)",
+    )
+    ap.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write a JSON summary of the comparison here",
+    )
+    args = ap.parse_args(argv)
+
+    specs = sweep_specs()
+    if args.limit is not None:
+        specs = specs[: args.limit]
+
+    records = {}
+    timings = {}
+    for engine in ENGINES:
+        eng_specs = [replace(s, engine=engine) for s in specs]
+        t0 = perf_counter()
+        records[engine] = run_experiments(eng_specs, jobs=args.jobs)
+        timings[engine] = perf_counter() - t0
+        events = sum(r.events for r in records[engine])
+        print(
+            f"engine={engine:6s}  {len(specs)} specs, {events:,} events, "
+            f"{timings[engine]:.1f}s wall",
+            flush=True,
+        )
+
+    mismatches = []
+    for spec, rl, rb in zip(specs, records["legacy"], records["batch"]):
+        if not rl.same_outcome(rb):
+            mismatches.append(
+                dict(
+                    spec=spec.describe(),
+                    legacy=dict(makespan=rl.makespan, events=rl.events),
+                    batch=dict(makespan=rb.makespan, events=rb.events),
+                )
+            )
+
+    summary = dict(
+        specs=len(specs),
+        events=sum(r.events for r in records["batch"]),
+        legacy_wall_seconds=round(timings["legacy"], 3),
+        batch_wall_seconds=round(timings["batch"], 3),
+        outcome_bit_identical=not mismatches,
+        mismatches=mismatches,
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(summary, fh, indent=2)
+            fh.write("\n")
+
+    if mismatches:
+        print(f"ENGINE MISMATCH on {len(mismatches)}/{len(specs)} specs:")
+        for m in mismatches:
+            print(f"  {m['spec']}: legacy={m['legacy']} batch={m['batch']}")
+        return 1
+    print(
+        f"OK: {len(specs)} specs bitwise-identical across engines "
+        f"(legacy {timings['legacy']:.1f}s, batch {timings['batch']:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

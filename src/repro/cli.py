@@ -144,6 +144,7 @@ def _cmd_scaling(args) -> int:
             placement_seed=run + 77,
             lookahead=4,
             label=scheme,
+            engine=args.engine,
         )
         for side in sides
         for scheme in schemes
@@ -252,7 +253,8 @@ def _cmd_trace(args) -> int:
         grid.size, workload=args.workload, scheme=args.scheme
     )
     res = SimulatedPSelInv(
-        prob.struct, grid, args.scheme, seed=args.seed, telemetry=telemetry
+        prob.struct, grid, args.scheme, seed=args.seed, telemetry=telemetry,
+        engine=args.engine,
     ).run()
     trace = telemetry.timeline.write(
         args.output,
@@ -285,7 +287,7 @@ def _cmd_trace(args) -> int:
 def _cmd_hotspots(args) -> int:
     """Per-scheme ranked hot-spot report (the live Fig. 5/7 counterpart)."""
     from .core import ProcessorGrid, SimulatedPSelInv, iter_plans
-    from .obs import HotSpotMonitor, Telemetry
+    from .obs import HotSpotMonitor, MetricsRegistry, Telemetry
 
     prob = _resolve_problem(args.workload, args.scale, args.max_supernode)
     grid = ProcessorGrid(args.grid, args.grid)
@@ -293,19 +295,34 @@ def _cmd_hotspots(args) -> int:
     schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
     for scheme in schemes:
         monitor = HotSpotMonitor(grid.size)
+        metrics = MetricsRegistry(workload=args.workload, scheme=scheme)
         SimulatedPSelInv(
             prob.struct,
             grid,
             scheme,
             seed=args.seed,
             plans=plans,
-            telemetry=Telemetry(hotspots=monitor),
+            telemetry=Telemetry(hotspots=monitor, metrics=metrics),
+            engine=args.engine,
         ).run()
         print(
             monitor.report(
                 args.top, label=f"{args.workload} scheme={scheme}"
             )
         )
+        snap = metrics.snapshot()
+        cache_series = {
+            k: v
+            for bucket in ("counters", "gauges")
+            for k, v in snap[bucket].items()
+            if "comm.tree_cache." in k
+        }
+        if cache_series:
+            print("  tree cache (shared LRU, this run's deltas):")
+            for k, v in sorted(cache_series.items()):
+                name = k.split("{")[0]
+                val = f"{v:.3f}" if isinstance(v, float) else str(v)
+                print(f"    {name:28s} {val}")
         print()
     return 0
 
@@ -372,6 +389,15 @@ def build_parser() -> argparse.ArgumentParser:
             "cores; 1 = serial; results are identical either way)",
         )
 
+    def engine_option(sp):
+        sp.add_argument(
+            "--engine",
+            default="batch",
+            choices=["batch", "legacy"],
+            help="DES engine: calendar-queue batch dispatch (default) or "
+            "the binary-heap reference; outcomes are bit-identical",
+        )
+
     sp = sub.add_parser("analyze", help="symbolic factorization stats")
     common(sp)
     sp.set_defaults(fn=_cmd_analyze)
@@ -388,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(sp, grid_default=16)
     sp.add_argument("-r", "--runs", type=int, default=2)
     jobs_option(sp)
+    engine_option(sp)
     sp.set_defaults(fn=_cmd_scaling)
 
     sp = sub.add_parser(
@@ -398,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(sp, grid_default=16)
     sp.add_argument("-r", "--runs", type=int, default=2)
     jobs_option(sp)
+    engine_option(sp)
     sp.set_defaults(fn=_cmd_scaling)
 
     sp = sub.add_parser(
@@ -434,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the metrics-registry snapshot as JSON",
     )
     sp.add_argument("-k", "--top", type=int, default=5)
+    engine_option(sp)
     sp.set_defaults(fn=_cmd_trace)
 
     sp = sub.add_parser(
@@ -455,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated tree schemes to report on",
     )
     sp.add_argument("-k", "--top", type=int, default=5)
+    engine_option(sp)
     sp.set_defaults(fn=_cmd_hotspots)
 
     sp = sub.add_parser(

@@ -351,6 +351,58 @@ def _binomial_positions(p: int) -> tuple[np.ndarray, np.ndarray]:
     return _freeze(kids), _freeze(par)
 
 
+_POSITION_SHAPES = {
+    "flat": _flat_positions,
+    "binary": _binary_positions,
+    "binomial": _binomial_positions,
+}
+
+
+@lru_cache(maxsize=4096)
+def _children_csr(family: str, p: int) -> tuple[list[int], list[int]]:
+    """CSR adjacency (indptr, child positions) of one positional shape.
+
+    Plain Python lists: the batch collectives index them per forwarded
+    message.  Children appear in ascending position, matching the
+    append order of the dict-based tree builders bit for bit.
+    """
+    kids, par = _POSITION_SHAPES[family](p)
+    counts = kids.tolist()
+    parents = par.tolist()
+    indptr = [0] * (p + 1)
+    for i in range(p):
+        indptr[i + 1] = indptr[i] + counts[i]
+    childpos = [0] * (p - 1 if p > 0 else 0)
+    cursor = indptr[:p]
+    for i in range(1, p):
+        pp = parents[i]
+        childpos[cursor[pp]] = i
+        cursor[pp] += 1
+    return indptr, childpos
+
+
+@lru_cache(maxsize=4096)
+def _parent_positions(family: str, p: int) -> list[int]:
+    """Parent position per position (root -1) as a plain Python list."""
+    _, par = _POSITION_SHAPES[family](p)
+    return par.tolist()
+
+
+@lru_cache(maxsize=4096)
+def _shape_depth(family: str, p: int) -> int:
+    """Longest root-to-leaf path (edges) of one positional shape."""
+    _, par = _POSITION_SHAPES[family](p)
+    parents = par.tolist()
+    depths = [0] * p
+    best = 0
+    for i in range(1, p):
+        d = depths[parents[i]] + 1
+        depths[i] = d
+        if d > best:
+            best = d
+    return best
+
+
 @dataclass(frozen=True)
 class TreeArrays:
     """Array view of one communication tree (the volume engine's format).
@@ -369,10 +421,40 @@ class TreeArrays:
     # Largest out-degree, precomputed: the volume engine reads it once
     # per charged group and instances are shared through the cache.
     max_degree: int
+    # Positional-shape family ("flat" / "binary" / "binomial"; the
+    # shifted and randperm schemes reuse the binary shape).  Keys the
+    # shared children-CSR and depth memos, so the batch-engine
+    # collectives never rebuild per-tree adjacency.
+    family: str = "binary"
 
     @property
     def size(self) -> int:
         return len(self.ranks)
+
+    def ranks_list(self) -> list[int]:
+        """The ranks as a plain Python list (scalar ndarray indexing is
+        several times slower on the collectives' hot path).  Lazily
+        materialized once per instance; instances are shared through the
+        LRU cache, so the list is too."""
+        rl = getattr(self, "_rl", None)
+        if rl is None:
+            rl = [int(r) for r in self.ranks]
+            object.__setattr__(self, "_rl", rl)
+        return rl
+
+    def children_csr(self) -> tuple[list[int], list[int]]:
+        """``(indptr, child_positions)`` adjacency of the positional
+        shape, children in ascending construction-order position (the
+        exact forwarding order of the dict-based builders)."""
+        return _children_csr(self.family, self.size)
+
+    def parent_positions(self) -> list[int]:
+        """Parent position per position (root -1), shared per shape."""
+        return _parent_positions(self.family, self.size)
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length in edges."""
+        return _shape_depth(self.family, self.size)
 
     def to_comm_tree(self) -> CommTree:
         """Materialize the dict-based :class:`CommTree` view.
@@ -506,19 +588,24 @@ def _build_arrays(key: tuple) -> TreeArrays:
     scheme, root, others = key[0], key[1], key[2]
     p = len(others) + 1
     if scheme == "flat":
+        family = "flat"
         kids, par = _flat_positions(p)
         order = (root, *others)
     elif scheme == "binomial":
+        family = "binomial"
         kids, par = _binomial_positions(p)
         order = (root, *others)
     elif scheme == "binary":
+        family = "binary"
         kids, par = _binary_positions(p)
         order = (root, *others)
     elif scheme == "shifted":
+        family = "binary"
         kids, par = _binary_positions(p)
         k = key[3]
         order = (root, *others[k:], *others[:k])
     else:  # randperm
+        family = "binary"
         kids, par = _binary_positions(p)
         perm = key[3]
         order = (root, *(others[i] for i in perm))
@@ -529,6 +616,7 @@ def _build_arrays(key: tuple) -> TreeArrays:
         parent_pos=par,
         child_counts=kids,
         max_degree=int(kids.max()) if p else 0,
+        family=family,
     )
 
 

@@ -36,6 +36,22 @@ Two modes share all protocol code:
 * **symbolic** (``factor=None``): payloads are ``None``; only sizes, flop
   counts and the virtual clock matter.  This is the mode the large-scale
   strong-scaling experiments use.
+
+Two interchangeable execution engines (``engine=``):
+
+* ``"batch"`` (default) -- the calendar-queue
+  :class:`~repro.simulate.engine.BatchSimulator` +
+  :class:`~repro.simulate.machine.BatchMachine` stack with array-based
+  collectives (:class:`~repro.comm.collectives.ArrayBroadcast` /
+  :class:`~repro.comm.collectives.ArrayReduce`) routed over positional
+  :class:`~repro.comm.trees.TreeArrays`.
+* ``"legacy"`` -- the original heapq :class:`Simulator` + per-message
+  :class:`Message` objects + dict-based collectives.
+
+Both produce bit-identical results -- same event count, same final
+timestamps, same per-rank stats -- which the engine-equivalence tests
+and ``benchmarks/bench_runner_scaling.py`` assert; the batch engine is
+simply faster.
 """
 
 from __future__ import annotations
@@ -46,9 +62,9 @@ from typing import Any
 import numpy as np
 from scipy.linalg import solve_triangular
 
-from ..comm.collectives import TreeBroadcast, TreeReduce
-from ..comm.trees import build_tree
-from ..simulate.machine import CommStats, Machine, Message
+from ..comm.collectives import ArrayBroadcast, ArrayReduce, TreeBroadcast, TreeReduce
+from ..comm.trees import build_tree, tree_arrays, tree_cache_info
+from ..simulate.machine import BatchMachine, CommStats, Machine, Message
 from ..simulate.network import Network, NetworkConfig
 from ..sparse.factor import SupernodalFactor
 from ..sparse.selinv import SelectedInverse
@@ -143,7 +159,13 @@ class SimulatedPSelInv:
         tree_cache: dict | None = None,
         event_log: list | None = None,
         telemetry=None,
+        engine: str = "batch",
     ) -> None:
+        if engine not in ("batch", "legacy"):
+            raise ValueError(
+                f"unknown engine {engine!r}; expected 'batch' or 'legacy'"
+            )
+        self.engine = engine
         self.struct = struct
         self.grid = grid
         self.scheme = scheme
@@ -181,13 +203,25 @@ class SimulatedPSelInv:
         # ``event_log`` (a caller-owned list) enables the machine's
         # structured trace hook; ``repro check`` replays it against the
         # static happens-before model.
-        self.machine = Machine(
-            grid.size,
-            net,
-            event_log=event_log,
-            recorder=recorder,
-            metrics=metrics,
-        )
+        if engine == "batch":
+            # The batch machine charges the per-delivery CPU overhead
+            # itself (no wrapper handler on the hot path).
+            self.machine: Machine = BatchMachine(
+                grid.size,
+                net,
+                event_log=event_log,
+                recorder=recorder,
+                metrics=metrics,
+                deliver_cpu_overhead=per_message_cpu_overhead,
+            )
+        else:
+            self.machine = Machine(
+                grid.size,
+                net,
+                event_log=event_log,
+                recorder=recorder,
+                metrics=metrics,
+            )
         if metrics is not None:
             self.machine.sim.attach_metrics(metrics)
         if plans is not None:
@@ -207,28 +241,43 @@ class SimulatedPSelInv:
         self.waiters: dict[tuple[int, int], list] = {}
         self.done_diag = 0
         self._ran = False
-        # Trees depend on (scheme, seed, grid, struct); callers sweeping
-        # over jitter/placement seeds may share a cache across runs with
-        # identical (scheme, seed, grid, struct).  A guard key catches
-        # accidental reuse across configurations.
+        # Trees depend on (scheme, seed, grid, struct) -- and on the
+        # engine, which determines the cached representation (positional
+        # TreeArrays vs dict CommTree); callers sweeping over jitter/
+        # placement seeds may share a cache across runs with identical
+        # configuration.  A guard key catches accidental reuse.
         self._tree_cache = tree_cache if tree_cache is not None else {}
-        guard = ("__config__", scheme, seed, grid.pr, grid.pc, struct.nsup)
+        guard = (
+            "__config__", scheme, seed, grid.pr, grid.pc, struct.nsup, engine,
+        )
         prior = self._tree_cache.setdefault("__guard__", guard)
         if prior != guard:
             raise ValueError(
                 "tree_cache was built for a different configuration: "
                 f"{prior} vs {guard}"
             )
-        for r in range(grid.size):
-            self.machine.set_handler(r, self._make_handler(r))
+        if engine == "batch":
+            self._bcast_cls: Any = ArrayBroadcast
+            self._reduce_cls: Any = ArrayReduce
+            for r in range(grid.size):
+                self.machine.set_fast_handler(r, self._make_fast_handler(r))
+        else:
+            self._bcast_cls = TreeBroadcast
+            self._reduce_cls = TreeReduce
+            for r in range(grid.size):
+                self.machine.set_handler(r, self._make_handler(r))
 
     # -- setup ------------------------------------------------------------
 
     def _tree(self, spec) -> Any:
+        """The spec's communication tree, in the engine's representation
+        (positional :class:`TreeArrays` for batch, dict
+        :class:`CommTree` for legacy), memoized per run/config."""
         key = spec.key
         tree = self._tree_cache.get(key)
         if tree is None:
-            tree = build_tree(
+            build = tree_arrays if self.engine == "batch" else build_tree
+            tree = build(
                 self.scheme,
                 spec.root,
                 spec.participants,
@@ -250,7 +299,7 @@ class SimulatedPSelInv:
         k = plan.k
         if plan.diag_bcast is not None:
             spec = plan.diag_bcast
-            self.collectives[spec.key] = TreeBroadcast(
+            self.collectives[spec.key] = self._bcast_cls(
                 m,
                 self._tree(spec),
                 spec.key,
@@ -262,7 +311,7 @@ class SimulatedPSelInv:
             )
         for spec in plan.col_bcasts:
             i = spec.key[2]
-            self.collectives[spec.key] = TreeBroadcast(
+            self.collectives[spec.key] = self._bcast_cls(
                 m,
                 self._tree(spec),
                 spec.key,
@@ -279,7 +328,7 @@ class SimulatedPSelInv:
             contributors = {
                 jrow + (b.snode % pc) for b in plan.blocks
             }
-            self.collectives[spec.key] = TreeReduce(
+            self.collectives[spec.key] = self._reduce_cls(
                 m,
                 self._tree(spec),
                 spec.key,
@@ -296,7 +345,7 @@ class SimulatedPSelInv:
             contributors = {
                 (b.snode % self.grid.pr) * pc + kc for b in plan.blocks
             }
-            self.collectives[spec.key] = TreeReduce(
+            self.collectives[spec.key] = self._reduce_cls(
                 m,
                 self._tree(spec),
                 spec.key,
@@ -327,30 +376,87 @@ class SimulatedPSelInv:
 
         return handler
 
+    def _make_fast_handler(self, rank: int):
+        """Batch-engine rank handler for the point-to-point tags.
+
+        Collective messages never reach it (they carry their own
+        delivery callback); only the cross-send/cross-back transfers
+        fall through to the rank handler.  The per-message CPU overhead
+        is charged by the :class:`BatchMachine` itself.
+        """
+
+        def handler(tag: Any, payload: Any, aux: int) -> None:
+            kind = tag[0]
+            if kind == "cs":
+                self._on_cross_send(tag[1], tag[2], payload)
+            elif kind == "xb":
+                self._on_cross_back(tag[1], tag[2], rank, payload)
+            else:  # pragma: no cover - protocol safety net
+                raise RuntimeError(f"unknown message tag {tag!r}")
+
+        return handler
+
     # -- helpers ------------------------------------------------------------
 
     def _block_rows(self, k: int, i: int) -> np.ndarray:
         return self.struct.block_row_indices(k, i)
 
     def _gemm_counts(self, plan: SupernodePlan) -> None:
-        """Build dispatch tables for supernode ``plan.k`` (on window entry)."""
+        """Build dispatch tables for supernode ``plan.k`` (on window entry).
+
+        Logically this is the all-pairs loop ``for bj in blocks: for bi
+        in blocks`` counting one GEMM per (row block, column block) pair.
+        Run that way it costs O(B^2) dict operations and dominates the
+        window-entry path on large supernodes, so the pairs are batched
+        by grid row instead: every row block ``j`` in the same grid row
+        meets every column position with the same multiplicity, and a
+        ``bcast_gemms`` key ``(i, r)`` pins down the grid row of ``r``,
+        so each of its lists receives the ``j``'s of exactly one row
+        group -- in block order, as before.  Neither table's key order is
+        observable (both are only read by key), and the counts and list
+        contents are identical to the all-pairs loop.
+        """
         st = self.states[plan.k]
         pr, pc = self.grid.pr, self.grid.pc
         k = plan.k
         kc = k % pc
-        for bj in plan.blocks:
-            j = bj.snode
+        blocks = plan.blocks
+        snodes = [b.snode for b in blocks]
+        # Row blocks grouped by grid row (insertion = block order).
+        rowgroups: dict[int, list[int]] = {}
+        for j in snodes:
             jrow = (j % pr) * pc
-            for bi in plan.blocks:
-                i = bi.snode
-                r = jrow + i % pc
-                key = (j, r)
-                st.gemms_left[key] = st.gemms_left.get(key, 0) + 1
-                st.bcast_gemms.setdefault((i, r), []).append(j)
+            g = rowgroups.get(jrow)
+            if g is None:
+                rowgroups[jrow] = [j]
+            else:
+                g.append(j)
+        # Column-position multiplicity over the column blocks.
+        cols = [i % pc for i in snodes]
+        colcount: dict[int, int] = {}
+        for ic in cols:
+            colcount[ic] = colcount.get(ic, 0) + 1
+        gl = st.gemms_left
+        bg = st.bcast_gemms
+        diag_left = st.diag_left
+        norm_blocks = st.norm_blocks
+        for jrow, js in rowgroups.items():
+            for j in js:
+                for ic, cnt in colcount.items():
+                    key = (j, jrow + ic)
+                    gl[key] = gl.get(key, 0) + cnt
+            for i, ic in zip(snodes, cols):
+                key = (i, jrow + ic)
+                lst = bg.get(key)
+                if lst is None:
+                    bg[key] = list(js)
+                else:
+                    lst.extend(js)
             dest = jrow + kc
-            st.diag_left[dest] = st.diag_left.get(dest, 0) + 1
-            lowner = (j % pr) * pc + kc
-            st.norm_blocks.setdefault(lowner, []).append(bj)
+            diag_left[dest] = diag_left.get(dest, 0) + len(js)
+        for bj in blocks:
+            lowner = (bj.snode % pr) * pc + kc
+            norm_blocks.setdefault(lowner, []).append(bj)
 
     # -- phase 0: kickoff ------------------------------------------------------
 
@@ -616,8 +722,14 @@ class SimulatedPSelInv:
         if self._ran:
             raise RuntimeError("a SimulatedPSelInv instance runs only once")
         self._ran = True
+        metrics = (
+            self.telemetry.metrics if self.telemetry is not None else None
+        )
+        cache_before = tree_cache_info() if metrics is not None else None
         self._kickoff()
         makespan = self.machine.run(max_events=max_events)
+        if metrics is not None and cache_before is not None:
+            self._record_tree_cache_metrics(metrics, cache_before)
         nsup = self.struct.nsup
         if self.done_diag != nsup:
             raise RuntimeError(
@@ -638,6 +750,29 @@ class SimulatedPSelInv:
             communication_time=comm,
             inverse=inverse,
         )
+
+    @staticmethod
+    def _record_tree_cache_metrics(metrics, before: dict[str, int]) -> None:
+        """Publish shared tree-cache deltas as ``comm.tree_cache.*``.
+
+        The cache is process-global, so counters report the *delta*
+        accumulated by this run while the size/maxsize gauges report the
+        cache state after it.
+        """
+        after = tree_cache_info()
+        hits = after["hits"] - before["hits"]
+        misses = after["misses"] - before["misses"]
+        metrics.counter("comm.tree_cache.hits").inc(hits)
+        metrics.counter("comm.tree_cache.misses").inc(misses)
+        metrics.counter("comm.tree_cache.evictions").inc(
+            after["evictions"] - before["evictions"]
+        )
+        lookups = hits + misses
+        metrics.gauge("comm.tree_cache.hit_rate").set(
+            hits / lookups if lookups else 0.0
+        )
+        metrics.gauge("comm.tree_cache.size").set(after["size"])
+        metrics.gauge("comm.tree_cache.maxsize").set(after["maxsize"])
 
     def _gather_inverse(self) -> SelectedInverse:
         """Assemble the distributed numeric blocks into oracle layout."""

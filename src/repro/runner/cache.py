@@ -112,18 +112,21 @@ def get_tree_cache(
     scheme: str,
     seed: int,
     hybrid_threshold: int = 8,
+    engine: str = "batch",
 ) -> dict:
     """Shared communication-tree cache for one simulation configuration.
 
     Trees depend on ``(struct, grid, scheme, seed, hybrid_threshold)``
-    but not on jitter/placement seeds, so repeated runs of a sweep point
-    share one cache -- the same sharing the serial Fig. 8 loop used.
-    Problems outside the memo get a fresh private cache.
+    -- and on the engine, which fixes the cached representation
+    (positional ``TreeArrays`` for batch, dict ``CommTree`` for legacy)
+    -- but not on jitter/placement seeds, so repeated runs of a sweep
+    point share one cache -- the same sharing the serial Fig. 8 loop
+    used.  Problems outside the memo get a fresh private cache.
     """
     pkey = problem_key_of(prob)
     if pkey is None:
         return {}
-    key = (*pkey, grid.pr, grid.pc, scheme, seed, hybrid_threshold)
+    key = (*pkey, grid.pr, grid.pc, scheme, seed, hybrid_threshold, engine)
     cache = _TREE_CACHES.get(key)
     if cache is None:
         _STATS["tree_cache_misses"] += 1

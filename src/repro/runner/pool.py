@@ -127,7 +127,8 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
     grid = ProcessorGrid(*spec.grid)
     plans = cache.get_plans(prob, grid)
     tree_cache = cache.get_tree_cache(
-        prob, grid, spec.scheme, spec.seed, spec.hybrid_threshold
+        prob, grid, spec.scheme, spec.seed, spec.hybrid_threshold,
+        engine=spec.engine,
     )
     telemetry = None
     if spec.telemetry:
@@ -156,6 +157,7 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
         plans=plans,
         tree_cache=tree_cache,
         telemetry=telemetry,
+        engine=spec.engine,
     ).run(max_events=spec.max_events)
     wall = perf_counter() - t0  # det: allow(DET003)
     record = RunRecord.from_result(spec, res)

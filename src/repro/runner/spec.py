@@ -62,6 +62,11 @@ class ExperimentSpec:
     # snapshot back in ``RunRecord.metrics``.  Off by default; the
     # simulated outcome is bit-identical either way.
     telemetry: bool = False
+    # DES engine: "batch" (calendar-queue scheduler, SoA message
+    # records) or "legacy" (binary-heap reference).  The simulated
+    # outcome is bit-identical across engines; this knob exists for
+    # head-to-head benchmarking and as an escape hatch.
+    engine: str = "batch"
 
     def describe(self) -> str:
         """One line naming the experiment (used in progress and errors)."""

@@ -6,11 +6,13 @@ inhomogeneity, MPI-like asynchronous point-to-point messaging, and
 per-rank communication-volume accounting.
 """
 
-from .engine import Simulator
-from .machine import CommStats, Machine, Message, TraceEvent
+from .engine import BatchSimulator, Simulator
+from .machine import BatchMachine, CommStats, Machine, Message, TraceEvent
 from .network import Network, NetworkConfig
 
 __all__ = [
+    "BatchMachine",
+    "BatchSimulator",
     "CommStats",
     "Machine",
     "Message",

@@ -135,6 +135,10 @@ class Network:
             self._jitter_flat: list[float] | None = [0.0] * (nnodes * nnodes)
         else:
             self._jitter_flat = None
+        # Set by instrument(); the batch machine checks it to decide
+        # whether it may inline the arithmetic below (skipping the
+        # method calls would skip the telemetry tallies).
+        self._instrumented = False
 
     # -- queries ------------------------------------------------------------
 
@@ -212,6 +216,29 @@ class Network:
         """CPU time for a compute task of the given flop count."""
         return self.config.task_overhead + flops / self.config.flop_rate
 
+    def pair_params(self, src: int, dst: int) -> tuple[float, float, float]:
+        """``(latency, 1/bandwidth, jitter)`` for one rank pair.
+
+        The batch machine memoizes this triple per pair and computes
+        ``transit = (latency + nbytes / bandwidth) * jitter`` inline.
+        Bit-identical to :meth:`transit_time` for every case: intra-node
+        and jitter-free pairs return a jitter of exactly 1.0, and an
+        IEEE multiply by 1.0 preserves the value bit-for-bit, while the
+        jittered case uses the same ``(lat + nb*ibw) * j`` op order.
+        """
+        nl = self._node_list
+        a = nl[src]
+        b = nl[dst]
+        if a == b:
+            return (self._lat0, self._ibw0, 1.0)
+        if self._group_list[src] == self._group_list[dst]:
+            lat, ibw = self._lat1, self._ibw1
+        else:
+            lat, ibw = self._lat2, self._ibw2
+        if self._no_jitter:
+            return (lat, ibw, 1.0)
+        return (lat, ibw, self._node_jitter(a, b))
+
     # -- telemetry -----------------------------------------------------------
 
     def instrument(self, metrics) -> None:
@@ -228,6 +255,7 @@ class Network:
         queries at construction; an uninstrumented network stays on the
         original methods with zero added cost.
         """
+        self._instrumented = True
         inj_count = metrics.counter("net.injections")
         inj_bytes = metrics.counter("net.injection_bytes")
         inj_secs = metrics.counter("net.injection_seconds")
