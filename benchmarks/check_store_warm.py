@@ -1,0 +1,95 @@
+"""CI gate: a second identical sweep must be served from the result store.
+
+Runs a small Fig. 8-shaped experiment sweep twice against a throwaway
+store root (so CI caches never leak into or out of the check):
+
+* the **cold** pass simulates every spec and populates the store;
+* the **warm** pass must replay at least ``--min-hit-rate`` of its
+  records from disk (default 95%) and produce bit-identical outcomes
+  (``RunRecord.same_outcome``).
+
+Store hit/miss tallies come from ``ParallelRunner``'s merged worker
+stats, so the check exercises the cross-process stats shipping path
+too, not just the store itself.  Exit status 0 on pass, 1 on failure::
+
+    PYTHONPATH=../src:. python check_store_warm.py --jobs 2
+"""
+
+import argparse
+import sys
+import tempfile
+
+from repro.runner import ExperimentSpec, ParallelRunner, store
+
+
+def _specs():
+    return [
+        ExperimentSpec(
+            "audikw_1",
+            (4, 4),
+            scheme,
+            scale="tiny",
+            jitter_seed=seed,
+            label=f"{scheme}/j{seed}",
+        )
+        for scheme in ("flat", "binary", "shifted")
+        for seed in (0, 1)
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=0.95,
+        help="warm-pass store hit-rate floor (default: 0.95)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="worker processes (default: 2)"
+    )
+    args = parser.parse_args(argv)
+
+    store.configure(
+        enabled=True,
+        refresh=False,
+        directory=tempfile.mkdtemp(prefix="repro-store-smoke-"),
+    )
+    specs = _specs()
+
+    cold_runner = ParallelRunner(args.jobs)
+    cold = cold_runner.run(specs)
+    warm_runner = ParallelRunner(args.jobs)
+    warm = warm_runner.run(specs)
+
+    hits = warm_runner.stats.get("store.hits", 0)
+    misses = warm_runner.stats.get("store.misses", 0)
+    rate = hits / (hits + misses) if hits + misses else 0.0
+    identical = all(a.same_outcome(b) for a, b in zip(cold, warm))
+
+    print(
+        f"warm pass: {hits} store hit(s) / {misses} miss(es) "
+        f"over {len(specs)} spec(s) -- hit rate {rate:.1%} "
+        f"(floor {args.min_hit_rate:.0%}), bit-identical={identical}"
+    )
+    if rate < args.min_hit_rate:
+        print(
+            "warm-store gate FAILED: the re-run re-simulated instead of "
+            "replaying from the store (spec hash unstable, store not "
+            "consulted, or worker stats not shipped)",
+            file=sys.stderr,
+        )
+        return 1
+    if not identical:
+        print(
+            "warm-store gate FAILED: replayed records differ from the "
+            "cold run",
+            file=sys.stderr,
+        )
+        return 1
+    print("warm-store gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

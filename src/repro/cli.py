@@ -118,16 +118,55 @@ def _cmd_heatmap(args) -> int:
     return 0
 
 
+def _print_sweep_stats(runner) -> None:
+    """One stderr line per cache layer for a finished sweep."""
+    snap = runner.metrics_snapshot()
+    counters, gauges = snap["counters"], snap["gauges"]
+
+    def line(label: str, prefix: str, rate_key: str | None) -> None:
+        hits = counters.get(f"{prefix}hits", 0)
+        misses = counters.get(f"{prefix}misses", 0)
+        if not (hits or misses):
+            return
+        extra = ""
+        if rate_key is not None:
+            extra = f"  hit-rate={gauges.get(rate_key, 0.0):.1%}"
+        ev = counters.get(f"{prefix}evictions")
+        if ev:
+            extra += f"  evictions={ev}"
+        rb = counters.get(f"{prefix}bytes_read", 0)
+        wb = counters.get(f"{prefix}bytes_written", 0)
+        if rb or wb:
+            extra += f"  read={rb:,}B written={wb:,}B"
+        print(
+            f"  {label}: {hits} hit(s) / {misses} miss(es){extra}",
+            file=sys.stderr,
+        )
+
+    line("tree cache", "comm.tree_cache.", "comm.tree_cache.hit_rate")
+    line("result store", "runner.store.", "runner.store.hit_rate")
+
+
 def _cmd_scaling(args) -> int:
     """Fig. 8 mini strong-scaling sweep (also exposed as ``repro bench``).
 
     Experiments fan out across the parallel runner; records merge in
     spec order, so the printed tables are identical for any ``--jobs``.
+
+    The persistent result store is on by default (records are keyed by a
+    stable spec hash, so a re-run with unchanged parameters replays
+    stored records instead of simulating); ``--no-store`` disables it,
+    ``--refresh`` recomputes and overwrites, ``--store-dir`` relocates it.
     """
     from .analysis import ScalingSeries, Table, speedup_table
-    from .runner import ExperimentSpec, run_experiments
+    from .runner import ExperimentSpec, ParallelRunner, store
     from .simulate import NetworkConfig
 
+    store.configure(
+        enabled=not args.no_store,
+        refresh=args.refresh,
+        directory=args.store_dir,
+    )
     net = NetworkConfig(jitter_sigma=0.2)
     sides = [s for s in (4, 8, 16, 23, 32, 46) if s <= args.grid]
     schemes = ("flat", "binary", "shifted")
@@ -150,7 +189,9 @@ def _cmd_scaling(args) -> int:
         for scheme in schemes
         for run in range(args.runs)
     ]
-    records = run_experiments(specs, jobs=args.jobs, progress=_progress)
+    runner = ParallelRunner(args.jobs, progress=_progress)
+    records = runner.run(specs)
+    _print_sweep_stats(runner)
     series = {s: ScalingSeries(s) for s in schemes}
     for rec in records:
         series[rec.spec.label].add(
@@ -398,6 +439,24 @@ def build_parser() -> argparse.ArgumentParser:
             "the binary-heap reference; outcomes are bit-identical",
         )
 
+    def store_options(sp):
+        sp.add_argument(
+            "--no-store",
+            action="store_true",
+            help="disable the persistent result store (always simulate)",
+        )
+        sp.add_argument(
+            "--refresh",
+            action="store_true",
+            help="recompute every record and overwrite the stored copy",
+        )
+        sp.add_argument(
+            "--store-dir",
+            default=None,
+            help="result-store root (default: REPRO_STORE_DIR or "
+            "~/.cache/repro/store)",
+        )
+
     sp = sub.add_parser("analyze", help="symbolic factorization stats")
     common(sp)
     sp.set_defaults(fn=_cmd_analyze)
@@ -415,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("-r", "--runs", type=int, default=2)
     jobs_option(sp)
     engine_option(sp)
+    store_options(sp)
     sp.set_defaults(fn=_cmd_scaling)
 
     sp = sub.add_parser(
@@ -426,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("-r", "--runs", type=int, default=2)
     jobs_option(sp)
     engine_option(sp)
+    store_options(sp)
     sp.set_defaults(fn=_cmd_scaling)
 
     sp = sub.add_parser(

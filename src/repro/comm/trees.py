@@ -55,11 +55,14 @@ __all__ = [
     "build_tree",
     "tree_arrays",
     "canonical_tree_key",
+    "structure_tree_key",
     "rotation_offset",
     "permutation_indices",
     "tree_cache_info",
     "tree_cache_clear",
+    "tree_cache_reset_counters",
     "tree_cache_resize",
+    "tree_cache_hit_rate",
     "derive_seed",
     "TREE_SCHEMES",
 ]
@@ -410,8 +413,9 @@ class TreeArrays:
     ``ranks[i]`` is the rank at construction-order position ``i``
     (``ranks[0]`` is the root); ``parent_pos[i]`` indexes ``ranks``
     (-1 for the root) and ``child_counts[i]`` is position ``i``'s
-    out-degree.  Arrays are read-only: instances are shared via the LRU
-    cache.
+    out-degree.  Arrays are read-only: the shape arrays
+    (``parent_pos``/``child_counts``) are shared across every tree of the
+    same family and size via the structure cache.
     """
 
     root: int
@@ -434,8 +438,9 @@ class TreeArrays:
     def ranks_list(self) -> list[int]:
         """The ranks as a plain Python list (scalar ndarray indexing is
         several times slower on the collectives' hot path).  Lazily
-        materialized once per instance; instances are shared through the
-        LRU cache, so the list is too."""
+        materialized once per instance; the DES machines memoize one
+        instance per collective spec per run, so the list is built once
+        per distinct tree there."""
         rl = getattr(self, "_rl", None)
         if rl is None:
             rl = [int(r) for r in self.ranks]
@@ -480,40 +485,106 @@ class TreeArrays:
         )
 
 
-class _TreeLRU:
-    """Small LRU cache for :class:`TreeArrays` with hit/miss counters.
+@dataclass(frozen=True)
+class _TreeStructure:
+    """One cached tree *structure*: everything about a tree except which
+    concrete ranks sit at its positions.
 
-    Keys are *canonical* (see :func:`canonical_tree_key`): shifted trees
-    over the same participant set collapse onto their rotation offset, so
-    distinct collectives that happen to draw the same rotation share one
-    entry.
+    The positional shape (``child_counts``/``parent_pos``) is shared with
+    the per-family memos; ``offset``/``perm`` record the relative
+    reordering of the sorted non-root participants (rotation for shifted
+    trees, full permutation for randperm, identity otherwise).  A
+    concrete :class:`TreeArrays` is produced by :meth:`relabel`, which
+    only has to lay the caller's ranks onto the cached structure.
+    """
+
+    family: str
+    size: int
+    child_counts: np.ndarray
+    parent_pos: np.ndarray
+    max_degree: int
+    offset: int = 0
+    perm: tuple[int, ...] | None = None
+
+    def relabel(self, root: int, others: tuple[int, ...]) -> TreeArrays:
+        """Compose this structure with a concrete rank set.
+
+        Reproduces the construction order of the dict-based builders bit
+        for bit: root first, then the sorted non-root participants under
+        the structure's rotation/permutation.
+        """
+        if self.offset:
+            k = self.offset
+            order = (root, *others[k:], *others[:k])
+        elif self.perm is not None:
+            order = (root, *(others[i] for i in self.perm))
+        else:
+            order = (root, *others)
+        return TreeArrays(
+            root=root,
+            ranks=_freeze(np.asarray(order, dtype=np.int64)),
+            parent_pos=self.parent_pos,
+            child_counts=self.child_counts,
+            max_degree=self.max_degree,
+            family=self.family,
+        )
+
+
+class _TreeLRU:
+    """Small LRU cache for :class:`_TreeStructure` with hit/miss counters.
+
+    Keys are *structural* (see :func:`structure_tree_key`): they carry
+    the resolved scheme, the participant count, and the relative
+    rotation/permutation -- never absolute ranks.  The keyspace is
+    therefore O(distinct participant counts x offsets), thousands of
+    times smaller than the per-collective (root, participants) space that
+    used to thrash this cache, and every collective over *any* rank set
+    of the same size and rotation shares one entry.
     """
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = int(maxsize)
-        self._data: OrderedDict[tuple, TreeArrays] = OrderedDict()
+        self._data: OrderedDict[tuple, _TreeStructure] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def get(self, key: tuple) -> TreeArrays | None:
-        arrs = self._data.get(key)
-        if arrs is None:
+    def get(self, key: tuple) -> _TreeStructure | None:
+        struct = self._data.get(key)
+        if struct is None:
             self.misses += 1
             return None
         self._data.move_to_end(key)
         self.hits += 1
-        return arrs
+        return struct
 
-    def put(self, key: tuple, arrs: TreeArrays) -> None:
-        self._data[key] = arrs
+    def put(self, key: tuple, struct: _TreeStructure) -> None:
+        self._data[key] = struct
         self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        self._evict_over_capacity()
+
+    def resize(self, maxsize: int) -> None:
+        """Change capacity, evicting LRU entries when shrinking.
+
+        The single eviction path (shared with :meth:`put`) keeps the
+        eviction counter consistent no matter how the cache shrinks.
+        """
+        if maxsize < 1:
+            raise ValueError("tree cache maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        data = self._data
+        while len(data) > self.maxsize:
+            data.popitem(last=False)
             self.evictions += 1
 
     def clear(self) -> None:
         self._data.clear()
+        self.reset_counters()
+
+    def reset_counters(self) -> None:
         self.hits = self.misses = self.evictions = 0
 
     def info(self) -> dict[str, int]:
@@ -526,27 +597,75 @@ class _TreeLRU:
         }
 
 
-_TREE_CACHE = _TreeLRU(int(os.environ.get("REPRO_TREE_CACHE_SIZE", 1 << 16)))
+_DEFAULT_TREE_CACHE_SIZE = 1 << 16
+_TREE_CACHE: _TreeLRU | None = None
+
+
+def _env_cache_size() -> int:
+    """Capacity from ``REPRO_TREE_CACHE_SIZE`` (validated, with a clear
+    error naming the knob instead of a bare int() traceback)."""
+    raw = os.environ.get("REPRO_TREE_CACHE_SIZE")
+    if raw is None or not raw.strip():
+        return _DEFAULT_TREE_CACHE_SIZE
+    try:
+        size = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TREE_CACHE_SIZE={raw!r} is not a valid tree-cache "
+            "capacity; expected a positive integer (number of cached "
+            "tree structures)"
+        ) from None
+    if size < 1:
+        raise ValueError(
+            f"REPRO_TREE_CACHE_SIZE={raw!r} must be a positive integer"
+        )
+    return size
+
+
+def _cache() -> _TreeLRU:
+    """The shared structure cache, created on first use.
+
+    Lazy so a malformed ``REPRO_TREE_CACHE_SIZE`` surfaces as a clear
+    :class:`ValueError` at the first cache operation rather than as an
+    opaque crash at ``import repro`` time.
+    """
+    global _TREE_CACHE
+    c = _TREE_CACHE
+    if c is None:
+        c = _TREE_CACHE = _TreeLRU(_env_cache_size())
+    return c
 
 
 def tree_cache_info() -> dict[str, int]:
-    """Hit/miss/eviction counters of the shared tree cache."""
-    return _TREE_CACHE.info()
+    """Hit/miss/eviction counters of the shared tree-structure cache."""
+    return _cache().info()
 
 
 def tree_cache_clear() -> None:
-    """Drop all cached trees and reset the counters."""
-    _TREE_CACHE.clear()
+    """Drop all cached tree structures and reset the counters."""
+    _cache().clear()
+
+
+def tree_cache_reset_counters() -> None:
+    """Zero the hit/miss/eviction counters but keep the cached entries.
+
+    Benchmarks use this between sections so each section reports its own
+    stats (a warm section's hit rate is not diluted by the cold section's
+    compulsory misses) without giving up the warmed cache.
+    """
+    _cache().reset_counters()
 
 
 def tree_cache_resize(maxsize: int) -> None:
     """Change the cache capacity (evicts LRU entries if shrinking)."""
-    if maxsize < 1:
-        raise ValueError("tree cache maxsize must be positive")
-    _TREE_CACHE.maxsize = int(maxsize)
-    while len(_TREE_CACHE._data) > _TREE_CACHE.maxsize:
-        _TREE_CACHE._data.popitem(last=False)
-        _TREE_CACHE.evictions += 1
+    _cache().resize(maxsize)
+
+
+def tree_cache_hit_rate() -> float:
+    """Lifetime hit rate of the shared cache (0.0 when never consulted)."""
+    c = _cache()
+    lookups = c.hits + c.misses
+    return c.hits / lookups if lookups else 0.0
 
 
 def _resolve_scheme(scheme: str, n_others: int, hybrid_threshold: int) -> str:
@@ -564,12 +683,19 @@ def canonical_tree_key(
     *,
     hybrid_threshold: int = 8,
 ) -> tuple:
-    """Canonical cache key: two collectives with the same key build the
-    same tree.
+    """Canonical identity of one concrete tree: two collectives with the
+    same key build the same tree.
 
     ``others`` is the sorted non-root participant tuple.  For ``shifted``
     the seed only matters through the rotation offset; for ``randperm``
     through the permutation; the deterministic schemes drop it entirely.
+
+    Compatibility shim: this is no longer the *cache* key (which would
+    make the keyspace scale with the number of distinct (root,
+    participants) pairs and thrash the LRU) -- the cache keys on
+    :func:`structure_tree_key`, which drops the absolute ranks.  This
+    function remains the equality predicate for "would these two calls
+    return the same tree", which planners and tests still rely on.
     """
     scheme = _resolve_scheme(scheme, len(others), hybrid_threshold)
     if scheme == "shifted":
@@ -583,40 +709,60 @@ def canonical_tree_key(
     )
 
 
-def _build_arrays(key: tuple) -> TreeArrays:
-    """Construct the array view for a canonical key (cache miss path)."""
-    scheme, root, others = key[0], key[1], key[2]
-    p = len(others) + 1
-    if scheme == "flat":
-        family = "flat"
-        kids, par = _flat_positions(p)
-        order = (root, *others)
-    elif scheme == "binomial":
-        family = "binomial"
-        kids, par = _binomial_positions(p)
-        order = (root, *others)
-    elif scheme == "binary":
-        family = "binary"
-        kids, par = _binary_positions(p)
-        order = (root, *others)
-    elif scheme == "shifted":
-        family = "binary"
-        kids, par = _binary_positions(p)
-        k = key[3]
-        order = (root, *others[k:], *others[:k])
-    else:  # randperm
-        family = "binary"
-        kids, par = _binary_positions(p)
-        perm = key[3]
-        order = (root, *(others[i] for i in perm))
-    ranks = _freeze(np.asarray(order, dtype=np.int64))
-    return TreeArrays(
-        root=root,
-        ranks=ranks,
-        parent_pos=par,
-        child_counts=kids,
-        max_degree=int(kids.max()) if p else 0,
+def structure_tree_key(
+    scheme: str,
+    n_others: int,
+    seed: int,
+    *,
+    hybrid_threshold: int = 8,
+) -> tuple:
+    """Structural cache key: ``(resolved scheme, p, offset/perm)``.
+
+    The tree *shape* depends only on the scheme family and participant
+    count, and the rank ordering only on the rotation offset (shifted) or
+    permutation (randperm) -- never on the absolute ranks.  Keying the
+    cache on this collapses every collective over any rank set of the
+    same size onto one entry: cardinality is O(distinct participant
+    counts x distinct offsets), hundreds of keys on the paper-tier sweeps
+    versus hundreds of thousands of lookups.
+    """
+    scheme = _resolve_scheme(scheme, n_others, hybrid_threshold)
+    p = n_others + 1
+    if scheme == "shifted":
+        return ("shifted", p, rotation_offset(seed, n_others))
+    if scheme == "randperm":
+        return ("randperm", p, permutation_indices(seed, n_others))
+    if scheme in ("flat", "binary", "binomial"):
+        return (scheme, p, None)
+    raise ValueError(
+        f"unknown tree scheme {scheme!r}; expected one of {TREE_SCHEMES}"
+    )
+
+
+# Positional-shape family per resolved scheme (shifted/randperm only
+# reorder the ranks laid onto the binary shape).
+_FAMILY_OF = {
+    "flat": "flat",
+    "binary": "binary",
+    "binomial": "binomial",
+    "shifted": "binary",
+    "randperm": "binary",
+}
+
+
+def _build_structure(key: tuple) -> _TreeStructure:
+    """Construct the rank-free structure for a structural key (miss path)."""
+    scheme, p, extra = key
+    family = _FAMILY_OF[scheme]
+    kids, par = _POSITION_SHAPES[family](p)
+    return _TreeStructure(
         family=family,
+        size=p,
+        child_counts=kids,
+        parent_pos=par,
+        max_degree=int(kids.max()) if p else 0,
+        offset=extra if scheme == "shifted" else 0,
+        perm=extra if scheme == "randperm" else None,
     )
 
 
@@ -631,19 +777,25 @@ def tree_arrays(
     """Cached array view of one communication tree (any scheme).
 
     The fast path used by the vectorized volume engine and, via
-    :func:`build_tree`, by every other caller.  Bit-identical in shape to
-    the dict-based scheme constructors (pinned by regression tests).
+    :func:`build_tree`, by every other caller.  The cache holds rank-free
+    :class:`_TreeStructure` entries keyed by :func:`structure_tree_key`;
+    the caller's concrete ranks are laid onto the cached structure by a
+    cheap relabeling step.  Bit-identical in shape to the dict-based
+    scheme constructors (pinned by regression tests); repeated calls with
+    the same arguments return equal ``TreeArrays`` whose shape arrays
+    (``parent_pos``/``child_counts``) are shared instances.
     """
     root = int(root)
     others = tuple(_normalize(root, participants))
-    key = canonical_tree_key(
-        scheme, root, others, seed, hybrid_threshold=hybrid_threshold
+    key = structure_tree_key(
+        scheme, len(others), seed, hybrid_threshold=hybrid_threshold
     )
-    arrs = _TREE_CACHE.get(key)
-    if arrs is None:
-        arrs = _build_arrays(key)
-        _TREE_CACHE.put(key, arrs)
-    return arrs
+    cache = _cache()
+    struct_ = cache.get(key)
+    if struct_ is None:
+        struct_ = _build_structure(key)
+        cache.put(key, struct_)
+    return struct_.relabel(root, others)
 
 
 def build_tree(

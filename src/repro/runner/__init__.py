@@ -19,7 +19,7 @@ See :mod:`repro.runner.pool` for the execution model and
 :mod:`repro.runner.cache` for the per-worker memoization.
 """
 
-from . import cache
+from . import cache, store
 from .pool import (
     ExperimentError,
     ParallelRunner,
@@ -37,6 +37,7 @@ __all__ = [
     "RunRecord",
     "VolumeSpec",
     "cache",
+    "store",
     "default_jobs",
     "run_experiment",
     "run_experiments",

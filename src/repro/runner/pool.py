@@ -37,7 +37,7 @@ from functools import partial
 from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
-from . import cache
+from . import cache, store
 from .spec import ExperimentSpec, RunRecord, VolumeSpec
 
 __all__ = [
@@ -94,12 +94,65 @@ def _describe(item: Any) -> str:
     return text if len(text) <= 200 else text[:197] + "..."
 
 
+@dataclass
+class _Shipped:
+    """Result wrapper carrying per-item cache/store counter deltas.
+
+    The memo caches (:mod:`repro.runner.cache`), the tree-structure
+    cache (:mod:`repro.comm.trees`), and the result store
+    (:mod:`repro.runner.store`) keep *per-process* cumulative counters.
+    Pool workers are separate processes, so without shipping, their
+    counters would vanish when the pool exits.  Each work item therefore
+    returns the counter *delta* accrued since the previous item in the
+    same process; the parent folds deltas in any order into one
+    sweep-level total.
+    """
+
+    value: Any
+    stats: dict[str, int]
+
+
+def _stats_totals() -> dict[str, int]:
+    """Cumulative cache/store counters of this process, flat-named."""
+    from ..comm.trees import tree_cache_info
+
+    totals: dict[str, int] = {}
+    info = tree_cache_info()
+    for k in ("hits", "misses", "evictions"):
+        totals[f"tree_cache.{k}"] = info[k]
+    for k, v in cache.cache_stats().items():
+        totals[f"memo.{k}"] = v
+    for k, v in store.store_stats().items():
+        totals[f"store.{k}"] = v
+    return totals
+
+
+# Counter values already shipped by this process (baseline for the next
+# delta).  Forked workers inherit the parent's baseline, which equals
+# the parent's pre-fork totals -- so worker deltas count only work done
+# in the worker, never the inherited warm-cache history.
+_SHIPPED: dict[str, int] = {}
+
+
+def _stats_delta() -> dict[str, int]:
+    """Counter movement since the last call (and advance the baseline)."""
+    totals = _stats_totals()
+    delta = {
+        k: v - _SHIPPED.get(k, 0) for k, v in totals.items()
+    }
+    _SHIPPED.clear()
+    _SHIPPED.update(totals)
+    return {k: v for k, v in delta.items() if v}
+
+
 def _guarded(fn: Callable[[Any], Any], item: Any) -> Any:
-    """Run ``fn(item)``, converting failure into a picklable record."""
+    """Run ``fn(item)``, converting failure into a picklable record and
+    attaching the cache/store counter delta this item accrued."""
     try:
-        return fn(item)
+        value = fn(item)
     except Exception as exc:
-        return _Failure(_describe(item), repr(exc), traceback.format_exc())
+        value = _Failure(_describe(item), repr(exc), traceback.format_exc())
+    return _Shipped(value, _stats_delta())
 
 
 def _worker_init() -> None:
@@ -118,10 +171,19 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
 
     This is the single execution path for serial and parallel runs
     alike; determinism of the parallel runner reduces to determinism of
-    the simulation itself.
+    the simulation itself.  When the result store is active
+    (``REPRO_STORE``, see :mod:`repro.runner.store`) and the spec is
+    cacheable, a stored record is returned without simulating -- valid
+    precisely because the simulation is deterministic given its spec.
     """
     from ..core.grid import ProcessorGrid
     from ..core.pselinv import SimulatedPSelInv
+
+    rs = store.open_store() if store.cacheable(spec) else None
+    if rs is not None and not store.store_refresh():
+        stored = rs.get(spec)
+        if stored is not None:
+            return stored
 
     prob = cache.get_problem(spec.workload, spec.scale, spec.max_supernode)
     grid = ProcessorGrid(*spec.grid)
@@ -176,6 +238,8 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
             "hotspots": {name: mon.imbalance(c) for name, c in cats.items()},
             "top_ranks": {name: mon.top_ranks(5, c) for name, c in cats.items()},
         }
+    if rs is not None:
+        rs.put(spec, record)
     return record
 
 
@@ -208,6 +272,11 @@ class ParallelRunner:
     ``REPRO_JOBS`` knob); ``jobs=1`` runs everything in-process.
     ``progress`` is invoked after each completed item, in submission
     order, as ``progress(done, total, item, result, elapsed)``.
+
+    ``stats`` accumulates the cache/store counter deltas shipped back
+    from every executed item -- worker-side counters included, which
+    would otherwise die with the pool.  :meth:`metrics_snapshot` exports
+    them in the obs registry's snapshot shape for merging/printing.
     """
 
     def __init__(
@@ -220,6 +289,47 @@ class ParallelRunner:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.chunksize = chunksize
         self.progress = progress
+        self.stats: dict[str, int] = {}
+
+    def _fold(self, delta: dict[str, int]) -> None:
+        for k, v in delta.items():
+            self.stats[k] = self.stats.get(k, 0) + v
+
+    def metrics_snapshot(self) -> dict:
+        """Accumulated sweep counters as an obs-style metrics snapshot.
+
+        Canonical series names: ``comm.tree_cache.*`` (structure cache),
+        ``runner.cache.*`` (per-process memo tables), ``runner.store.*``
+        (result store), plus guarded ``*.hit_rate`` gauges (0.0 when the
+        cache was never consulted -- no division by zero on an idle
+        sweep).
+        """
+        prefix_map = {
+            "tree_cache.": "comm.tree_cache.",
+            "memo.": "runner.cache.",
+            "store.": "runner.store.",
+        }
+        counters: dict[str, int] = {}
+        for k, v in self.stats.items():
+            for short, canon in prefix_map.items():
+                if k.startswith(short):
+                    counters[canon + k[len(short):]] = v
+                    break
+        gauges: dict[str, float] = {}
+        for name, hits_key, miss_key in (
+            ("comm.tree_cache.hit_rate", "comm.tree_cache.hits",
+             "comm.tree_cache.misses"),
+            ("runner.store.hit_rate", "runner.store.hits",
+             "runner.store.misses"),
+        ):
+            hits = counters.get(hits_key, 0)
+            lookups = hits + counters.get(miss_key, 0)
+            gauges[name] = hits / lookups if lookups else 0.0
+        return {
+            "counters": {k: counters[k] for k in sorted(counters)},
+            "gauges": gauges,
+            "histograms": {},
+        }
 
     # -- generic ordered map ------------------------------------------------
 
@@ -234,9 +344,20 @@ class ParallelRunner:
         """
         items = list(items)
         n = len(items)
+        # Attribute parent-side work done since the last ship (prewarm,
+        # planner activity) to this sweep, and -- critically -- advance
+        # the process baseline *before* the pool forks: workers inherit
+        # the advanced baseline, so their first item's delta counts only
+        # worker-side work, not the parent's warm-cache history (once
+        # per worker, which would multiply-count it).
+        self._fold(_stats_delta())
         jobs = min(self.jobs, n)
         if jobs <= 1:
             return self._map_serial(fn, items)
+        # Snapshot accumulated stats so a mid-sweep pool collapse can
+        # roll back the partial fold -- the serial retry re-executes
+        # every item and would otherwise double-count the finished ones.
+        stats_before = dict(self.stats)
         try:
             return self._map_pool(fn, items, jobs)
         except ExperimentError:
@@ -246,6 +367,7 @@ class ParallelRunner:
             # Pool could not be created or died wholesale (sandboxes,
             # missing /dev/shm, fork limits): redo serially from scratch
             # -- determinism makes the retry safe.
+            self.stats = stats_before
             return self._map_serial(fn, items)
 
     def _map_serial(self, fn: Callable[[Any], Any], items: list) -> list:
@@ -278,6 +400,9 @@ class ParallelRunner:
         return out
 
     def _accept(self, result: Any, i: int, n: int, item: Any, t0: float) -> Any:
+        if isinstance(result, _Shipped):
+            self._fold(result.stats)
+            result = result.value
         if isinstance(result, _Failure):
             result.raise_()
         if self.progress is not None:

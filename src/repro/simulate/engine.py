@@ -107,14 +107,18 @@ class Simulator:
         pop = heapq.heappop
         no_arg = _NO_ARG
         while queue:
+            t = queue[0][0]
+            # Horizon first: an event beyond ``until`` would never
+            # execute, so it must not trip the event budget (the batch
+            # engine orders the checks this way; pinned by the bounded-
+            # run equivalence property).
+            if until is not None and t > until:
+                break
             if max_events is not None and self._events_processed >= max_events:
                 raise RuntimeError(
                     f"simulation exceeded {max_events} events -- likely a "
                     "protocol bug (deadlock would drain, livelock would not)"
                 )
-            t = queue[0][0]
-            if until is not None and t > until:
-                break
             _, _, fn, arg = pop(queue)
             self.now = t
             self._events_processed += 1
@@ -142,17 +146,18 @@ class Simulator:
         start_events = self._events_processed
         start_wall = time.perf_counter()  # det: allow(DET003) observation-only
         while queue:
+            depth = len(queue)
+            if depth > depth_hw:
+                depth_hw = depth
+            t = queue[0][0]
+            # Horizon before budget, mirroring the uninstrumented loop.
+            if until is not None and t > until:
+                break
             if max_events is not None and self._events_processed >= max_events:
                 raise RuntimeError(
                     f"simulation exceeded {max_events} events -- likely a "
                     "protocol bug (deadlock would drain, livelock would not)"
                 )
-            depth = len(queue)
-            if depth > depth_hw:
-                depth_hw = depth
-            t = queue[0][0]
-            if until is not None and t > until:
-                break
             _, _, fn, arg = pop(queue)
             self.now = t
             self._events_processed += 1

@@ -54,12 +54,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "max |err|" in out
 
-    def test_scaling_minimal(self, capsys):
+    def test_scaling_minimal(self, capsys, tmp_path, monkeypatch):
+        # Hermetic store: point at a throwaway dir so the test neither
+        # reads nor pollutes the user's cache, and leave no env behind
+        # (store.configure writes os.environ for pool workers).
+        for var in ("REPRO_STORE", "REPRO_STORE_REFRESH", "REPRO_STORE_DIR"):
+            monkeypatch.delenv(var, raising=False)
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
         assert main(
             ["scaling", "audikw_1", "--scale", "tiny", "-g", "4", "-r", "1"]
         ) == 0
         out = capsys.readouterr().out
         assert "speedup over flat" in out
+
+    def test_scaling_warm_rerun_uses_store(self, capsys, tmp_path, monkeypatch):
+        for var in ("REPRO_STORE", "REPRO_STORE_REFRESH", "REPRO_STORE_DIR"):
+            monkeypatch.delenv(var, raising=False)
+        argv = [
+            "scaling", "audikw_1", "--scale", "tiny", "-g", "4", "-r", "1",
+            "-j", "1", "--store-dir", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        # Identical printed tables, and the warm sweep reports store hits.
+        assert warm.out == cold.out
+        assert "result store" in warm.err
+        assert " 0 miss(es)" in warm.err
+
+    def test_scaling_no_store_flag_disables_store(self, tmp_path, monkeypatch):
+        for var in ("REPRO_STORE", "REPRO_STORE_REFRESH", "REPRO_STORE_DIR"):
+            monkeypatch.delenv(var, raising=False)
+        store_dir = tmp_path / "store"
+        assert main(
+            ["scaling", "audikw_1", "--scale", "tiny", "-g", "4", "-r", "1",
+             "-j", "1", "--no-store", "--store-dir", str(store_dir)]
+        ) == 0
+        assert not store_dir.exists()
 
     def test_concurrency_tiny(self, capsys):
         assert main(

@@ -104,6 +104,27 @@ def test_progress_callback_sees_every_item():
     assert seen == [(1, 3), (2, 3), (3, 3)]
 
 
+def test_parallel_runner_merges_worker_cache_stats():
+    # Workers run in separate processes; their tree-cache and memo
+    # counters used to die with the pool.  The runner must fold the
+    # per-item deltas back into its own stats, and the derived hit-rate
+    # gauge must be guarded (an idle runner divides nothing by zero).
+    idle = ParallelRunner(jobs=2)
+    snap = idle.metrics_snapshot()
+    assert snap["gauges"]["comm.tree_cache.hit_rate"] == 0.0
+
+    runner = ParallelRunner(jobs=2)
+    runner.run(sweep_specs())
+    hits = runner.stats.get("tree_cache.hits", 0)
+    misses = runner.stats.get("tree_cache.misses", 0)
+    assert hits > 0, f"worker tree-cache stats were dropped: {runner.stats}"
+    snap = runner.metrics_snapshot()
+    assert snap["counters"]["comm.tree_cache.hits"] == hits
+    assert snap["gauges"]["comm.tree_cache.hit_rate"] == hits / (hits + misses)
+    # The per-process memo tables ship too.
+    assert "memo.problem_misses" in runner.stats or "memo.problem_hits" in runner.stats
+
+
 def test_default_jobs_env_parsing(monkeypatch):
     monkeypatch.setenv("REPRO_JOBS", "3")
     assert default_jobs() == 3

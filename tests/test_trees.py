@@ -308,6 +308,68 @@ class TestArrayFastPath:
         )
 
 
+class TestStructureCacheRelabeling:
+    """The structure cache + relabel path must be *bit-identical* to
+    direct construction: the cache stores rank-free shapes keyed on
+    ``(scheme, p, offset/perm)`` and lays the caller's ranks on at
+    lookup, so any divergence here silently changes every experiment."""
+
+    CONSTRUCTORS = {
+        "flat": lambda r, p, s: flat_tree(r, p),
+        "binary": lambda r, p, s: binary_tree(r, p),
+        "shifted": shifted_binary_tree,
+        "randperm": random_perm_tree,
+        "hybrid": lambda r, p, s: hybrid_tree(r, p, s, threshold=8),
+    }
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.sets(st.integers(0, 2000), min_size=1, max_size=48),
+        st.integers(0, 2**31 - 1),
+        st.sampled_from(["flat", "binary", "binomial", "shifted", "randperm", "hybrid"]),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_relabel_bit_identical_to_direct_construction(
+        self, participants, seed, scheme, root_pick
+    ):
+        from repro.comm.trees import binomial_tree, tree_arrays
+
+        ranks = sorted(participants)
+        root = ranks[root_pick % len(ranks)]
+        arrs = tree_arrays(scheme, root, participants, seed)
+        fast = arrs.to_comm_tree()
+        ctors = {**self.CONSTRUCTORS, "binomial": lambda r, p, s: binomial_tree(r, p)}
+        ref = ctors[scheme](root, set(participants), seed)
+        assert fast.order == ref.order
+        assert fast.parent == ref.parent
+        assert fast.children == ref.children
+        # The ndarray view agrees elementwise with the dict order too
+        # (int64 exactness, not just same set of ranks).
+        assert arrs.ranks.dtype == np.int64
+        assert tuple(int(r) for r in arrs.ranks) == ref.order
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sets(st.integers(0, 500), min_size=2, max_size=32),
+        st.sets(st.integers(600, 1100), min_size=2, max_size=32),
+        st.integers(0, 2**31 - 1),
+        st.sampled_from(["flat", "binary", "binomial", "shifted", "randperm"]),
+    )
+    def test_same_size_groups_share_one_structure(self, a, b, seed, scheme):
+        """Two disjoint rank sets of equal size (same seed) must share
+        the cached structure object -- the property that collapses the
+        keyspace from per-collective to per-(size, offset)."""
+        from repro.comm.trees import tree_arrays
+
+        size = min(len(a), len(b))
+        a, b = sorted(a)[:size], sorted(b)[:size]
+        ta = tree_arrays(scheme, a[0], a, seed)
+        tb = tree_arrays(scheme, b[0], b, seed)
+        assert ta.parent_pos is tb.parent_pos
+        assert ta.child_counts is tb.child_counts
+        assert ta.family == tb.family
+
+
 class TestBinomialTree:
     def test_parent_clears_highest_bit(self):
         from repro.comm import binomial_tree
