@@ -1,12 +1,13 @@
 """Per-engine bit-identity smoke over the Fig. 8 quick sweep.
 
-Runs the exact Fig. 8 sweep specs once under ``engine="legacy"`` and
-once under ``engine="batch"`` and asserts every
-:class:`~repro.runner.RunRecord` pair agrees bitwise
-(:meth:`RunRecord.same_outcome`: makespan, event count, compute and
-communication split, and every per-rank byte/message/busy-time array).
-This is the CI guard for the batch-dispatch engine: the calendar-queue
-scheduler is an optimization, never a behavior change.
+Runs the exact Fig. 8 sweep specs once under each simulation engine
+(``legacy``, ``batch``, ``vectorized``) and asserts every
+:class:`~repro.runner.RunRecord` agrees bitwise with the legacy
+reference (:meth:`RunRecord.same_outcome`: makespan, event count,
+compute and communication split, and every per-rank byte/message/
+busy-time array).  This is the CI guard for the batch-dispatch and
+vectorized engines: the calendar-queue scheduler and the compiled
+collective state machines are optimizations, never behavior changes.
 
 Run from ``benchmarks/`` with ``PYTHONPATH=../src:.``:
 
@@ -29,7 +30,8 @@ from bench_fig8_scaling import sweep_specs
 
 from repro.runner import run_experiments
 
-ENGINES = ("legacy", "batch")
+ENGINES = ("legacy", "batch", "vectorized")
+REFERENCE = ENGINES[0]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,27 +69,29 @@ def main(argv: list[str] | None = None) -> int:
         timings[engine] = perf_counter() - t0
         events = sum(r.events for r in records[engine])
         print(
-            f"engine={engine:6s}  {len(specs)} specs, {events:,} events, "
+            f"engine={engine:10s}  {len(specs)} specs, {events:,} events, "
             f"{timings[engine]:.1f}s wall",
             flush=True,
         )
 
     mismatches = []
-    for spec, rl, rb in zip(specs, records["legacy"], records["batch"]):
-        if not rl.same_outcome(rb):
-            mismatches.append(
-                dict(
-                    spec=spec.describe(),
-                    legacy=dict(makespan=rl.makespan, events=rl.events),
-                    batch=dict(makespan=rb.makespan, events=rb.events),
+    for engine in ENGINES[1:]:
+        for spec, ref, rec in zip(specs, records[REFERENCE], records[engine]):
+            if not ref.same_outcome(rec):
+                mismatches.append(
+                    dict(
+                        spec=spec.describe(),
+                        engine=engine,
+                        reference=dict(makespan=ref.makespan, events=ref.events),
+                        candidate=dict(makespan=rec.makespan, events=rec.events),
+                    )
                 )
-            )
 
     summary = dict(
         specs=len(specs),
-        events=sum(r.events for r in records["batch"]),
-        legacy_wall_seconds=round(timings["legacy"], 3),
-        batch_wall_seconds=round(timings["batch"], 3),
+        engines=list(ENGINES),
+        events=sum(r.events for r in records[REFERENCE]),
+        wall_seconds={e: round(timings[e], 3) for e in ENGINES},
         outcome_bit_identical=not mismatches,
         mismatches=mismatches,
     )
@@ -97,14 +101,15 @@ def main(argv: list[str] | None = None) -> int:
             fh.write("\n")
 
     if mismatches:
-        print(f"ENGINE MISMATCH on {len(mismatches)}/{len(specs)} specs:")
+        print(f"ENGINE MISMATCH on {len(mismatches)} spec/engine pairs:")
         for m in mismatches:
-            print(f"  {m['spec']}: legacy={m['legacy']} batch={m['batch']}")
+            print(
+                f"  {m['spec']} [{m['engine']}]: "
+                f"reference={m['reference']} candidate={m['candidate']}"
+            )
         return 1
-    print(
-        f"OK: {len(specs)} specs bitwise-identical across engines "
-        f"(legacy {timings['legacy']:.1f}s, batch {timings['batch']:.1f}s)"
-    )
+    walls = ", ".join(f"{e} {timings[e]:.1f}s" for e in ENGINES)
+    print(f"OK: {len(specs)} specs bitwise-identical across engines ({walls})")
     return 0
 
 

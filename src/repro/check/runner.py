@@ -129,6 +129,7 @@ def run_checks(
     seed: int = 20160523,
     trace: bool | None = None,
     jobs: int | None = None,
+    force_jobs: bool = False,
     progress: Callable | None = None,
 ) -> CheckResult:
     """The full ``repro check`` entry point.
@@ -139,9 +140,10 @@ def run_checks(
     ``trace=True`` to force it everywhere.
 
     ``jobs`` selects the process-pool width (None = the ``REPRO_JOBS``
-    default); per-workload findings merge in registry order, so the
-    result does not depend on the worker count.  ``progress`` is the
-    runner's per-item callback (see :class:`repro.runner.ParallelRunner`).
+    default, clamped to the available CPUs unless ``force_jobs``);
+    per-workload findings merge in registry order, so the result does
+    not depend on the worker count.  ``progress`` is the runner's
+    per-item callback (see :class:`repro.runner.ParallelRunner`).
     """
     from ..runner import ParallelRunner
     from ..workloads import workload_names
@@ -162,7 +164,8 @@ def run_checks(
         for name in names
     ]
     res = CheckResult()
-    for sub in ParallelRunner(jobs, progress=progress).map(_check_task, tasks):
+    runner = ParallelRunner(jobs, progress=progress, force_jobs=force_jobs)
+    for sub in runner.map(_check_task, tasks):
         res.plan.extend(sub.plan)
         res.hb.extend(sub.hb)
         res.det.extend(sub.det)

@@ -189,7 +189,9 @@ def _cmd_scaling(args) -> int:
         for scheme in schemes
         for run in range(args.runs)
     ]
-    runner = ParallelRunner(args.jobs, progress=_progress)
+    runner = ParallelRunner(
+        args.jobs, progress=_progress, force_jobs=args.force_jobs
+    )
     records = runner.run(specs)
     _print_sweep_stats(runner)
     series = {s: ScalingSeries(s) for s in schemes}
@@ -384,6 +386,7 @@ def _cmd_check(args) -> int:
         seed=args.seed,
         trace=True if args.trace else None,
         jobs=args.jobs,
+        force_jobs=args.force_jobs,
         progress=_progress,
     )
     for d in res.all():
@@ -429,14 +432,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="parallel worker processes (default: REPRO_JOBS or all "
             "cores; 1 = serial; results are identical either way)",
         )
+        sp.add_argument(
+            "--force-jobs",
+            action="store_true",
+            help="allow --jobs above the available CPU count instead of "
+            "clamping (oversubscription only adds scheduler churn, but "
+            "measuring that is occasionally the point)",
+        )
 
     def engine_option(sp):
         sp.add_argument(
             "--engine",
             default="batch",
-            choices=["batch", "legacy"],
-            help="DES engine: calendar-queue batch dispatch (default) or "
-            "the binary-heap reference; outcomes are bit-identical",
+            choices=["batch", "vectorized", "legacy"],
+            help="DES engine: calendar-queue batch dispatch (default), "
+            "compiled vectorized dispatch, or the binary-heap reference; "
+            "outcomes are bit-identical",
         )
 
     def store_options(sp):

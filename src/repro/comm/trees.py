@@ -45,7 +45,9 @@ import numpy as np
 
 __all__ = [
     "CommTree",
+    "CompiledTree",
     "TreeArrays",
+    "compiled_tree",
     "flat_tree",
     "binary_tree",
     "binomial_tree",
@@ -796,6 +798,101 @@ def tree_arrays(
         struct_ = _build_structure(key)
         cache.put(key, struct_)
     return struct_.relabel(root, others)
+
+
+@lru_cache(maxsize=4096)
+def _child_counts_list(family: str, p: int) -> list[int]:
+    """Per-position out-degrees of one positional shape as a plain list.
+
+    The vectorized reduce state machines copy this once per collective to
+    seed their pending counters; sharing the memo keeps that copy a C-level
+    ``list()`` call instead of an ndarray round trip.
+    """
+    kids, _ = _POSITION_SHAPES[family](p)
+    return kids.tolist()
+
+
+class CompiledTree:
+    """One tree compiled for the vectorized collective state machines.
+
+    Where :class:`TreeArrays` is an ndarray view (the volume engine's
+    format), this is the DES hot-path format: plain Python lists indexed
+    by construction-order position, sharing the per-shape CSR adjacency,
+    parent-position, and child-count memos across every tree of the same
+    family and size.  ``ranks[i]`` is the rank at position ``i`` (root at
+    position 0); ``indptr``/``childpos`` give each position's children in
+    ascending position -- the exact forwarding order of the dict-based
+    builders.
+    """
+
+    __slots__ = (
+        "root",
+        "ranks",
+        "size",
+        "indptr",
+        "childpos",
+        "parentpos",
+        "child_counts",
+        "_pos",
+    )
+
+    def __init__(
+        self,
+        root: int,
+        ranks: list[int],
+        family: str,
+    ) -> None:
+        p = len(ranks)
+        self.root = root
+        self.ranks = ranks
+        self.size = p
+        self.indptr, self.childpos = _children_csr(family, p)
+        self.parentpos = _parent_positions(family, p)
+        self.child_counts = _child_counts_list(family, p)
+        self._pos: dict[int, int] | None = None
+
+    def pos_of(self) -> dict[int, int]:
+        """rank -> construction-order position (built lazily, once)."""
+        pos = self._pos
+        if pos is None:
+            pos = self._pos = dict(zip(self.ranks, range(self.size)))
+        return pos
+
+
+def compiled_tree(
+    scheme: str,
+    root: int,
+    participants: Sequence[int],
+    seed: int = 0,
+    *,
+    hybrid_threshold: int = 8,
+) -> CompiledTree:
+    """Build the :class:`CompiledTree` for one collective (any scheme).
+
+    ``participants`` is expected in the planner's canonical form: a
+    sorted tuple that includes the root (``CollectiveSpec.participants``).
+    The orderings produced are bit-identical to :func:`tree_arrays` /
+    :func:`build_tree` for the same arguments (pinned by tests); only the
+    container types differ.
+    """
+    root = int(root)
+    i = participants.index(root)
+    others = [*participants[:i], *participants[i + 1 :]]
+    n = len(others)
+    scheme = _resolve_scheme(scheme, n, hybrid_threshold)
+    if scheme == "shifted":
+        if n > 1:
+            k = rotation_offset(seed, n)
+            others = others[k:] + others[:k]
+    elif scheme == "randperm":
+        if n > 1:
+            perm = permutation_indices(seed, n)
+            others = [others[i] for i in perm]
+    elif scheme not in ("flat", "binary", "binomial"):
+        raise ValueError(
+            f"unknown tree scheme {scheme!r}; expected one of {TREE_SCHEMES}"
+        )
+    return CompiledTree(root, [root, *others], _FAMILY_OF[scheme])
 
 
 def build_tree(

@@ -37,7 +37,7 @@ Two modes share all protocol code:
   counts and the virtual clock matter.  This is the mode the large-scale
   strong-scaling experiments use.
 
-Two interchangeable execution engines (``engine=``):
+Three interchangeable execution engines (``engine=``):
 
 * ``"batch"`` (default) -- the calendar-queue
   :class:`~repro.simulate.engine.BatchSimulator` +
@@ -45,13 +45,25 @@ Two interchangeable execution engines (``engine=``):
   collectives (:class:`~repro.comm.collectives.ArrayBroadcast` /
   :class:`~repro.comm.collectives.ArrayReduce`) routed over positional
   :class:`~repro.comm.trees.TreeArrays`.
+* ``"vectorized"`` -- the :class:`~repro.simulate.vec.VecMachine` /
+  :class:`~repro.simulate.vec.VecSimulator` stack plus a *compiled*
+  protocol layer: on window entry every per-event quantity of a
+  supernode (GEMM/normalize/diag durations, send destinations, tags,
+  readiness keys) is precomputed in bulk with numpy, collectives run as
+  :class:`~repro.comm.vec_collectives.VecBroadcast` /
+  :class:`~repro.comm.vec_collectives.VecReduce` state machines over
+  shared :class:`~repro.comm.trees.CompiledTree` tables, and the hot
+  handlers are closure-free (pre-registered handler ids + tuple
+  arguments).  Numeric or telemetry-instrumented runs transparently
+  fall back to the batch protocol on the same machine.
 * ``"legacy"`` -- the original heapq :class:`Simulator` + per-message
   :class:`Message` objects + dict-based collectives.
 
-Both produce bit-identical results -- same event count, same final
-timestamps, same per-rank stats -- which the engine-equivalence tests
-and ``benchmarks/bench_runner_scaling.py`` assert; the batch engine is
-simply faster.
+All three produce bit-identical results -- same event count, same final
+timestamps, same per-rank stats -- which the engine-equivalence tests,
+``benchmarks/check_engine_identity.py`` and
+``benchmarks/bench_runner_scaling.py`` assert; the vectorized engine is
+simply fastest.
 """
 
 from __future__ import annotations
@@ -63,8 +75,10 @@ import numpy as np
 from scipy.linalg import solve_triangular
 
 from ..comm.collectives import ArrayBroadcast, ArrayReduce, TreeBroadcast, TreeReduce
-from ..comm.trees import build_tree, tree_arrays, tree_cache_info
+from ..comm.trees import build_tree, compiled_tree, tree_arrays, tree_cache_info
+from ..comm.vec_collectives import VecBroadcast, VecReduce
 from ..simulate.machine import BatchMachine, CommStats, Machine, Message
+from ..simulate.vec import VecMachine
 from ..simulate.network import Network, NetworkConfig
 from ..sparse.factor import SupernodalFactor
 from ..sparse.selinv import SelectedInverse
@@ -113,6 +127,11 @@ class _SupernodeState:
         "nrows",
         "cross_nbytes",
         "back_nbytes",
+        # Compiled-protocol tables (engine="vectorized", symbolic):
+        "rr_info",
+        "norm_vec",
+        "base_sec",
+        "finish_sec",
     )
 
     def __init__(self, plan: SupernodePlan):
@@ -161,9 +180,10 @@ class SimulatedPSelInv:
         telemetry=None,
         engine: str = "batch",
     ) -> None:
-        if engine not in ("batch", "legacy"):
+        if engine not in ("batch", "legacy", "vectorized"):
             raise ValueError(
-                f"unknown engine {engine!r}; expected 'batch' or 'legacy'"
+                f"unknown engine {engine!r}; expected 'batch', 'legacy', "
+                "or 'vectorized'"
             )
         self.engine = engine
         self.struct = struct
@@ -203,10 +223,19 @@ class SimulatedPSelInv:
         # ``event_log`` (a caller-owned list) enables the machine's
         # structured trace hook; ``repro check`` replays it against the
         # static happens-before model.
-        if engine == "batch":
+        if engine == "vectorized":
+            self.machine: Machine = VecMachine(
+                grid.size,
+                net,
+                event_log=event_log,
+                recorder=recorder,
+                metrics=metrics,
+                deliver_cpu_overhead=per_message_cpu_overhead,
+            )
+        elif engine == "batch":
             # The batch machine charges the per-delivery CPU overhead
             # itself (no wrapper handler on the hot path).
-            self.machine: Machine = BatchMachine(
+            self.machine = BatchMachine(
                 grid.size,
                 net,
                 event_log=event_log,
@@ -256,16 +285,25 @@ class SimulatedPSelInv:
                 "tree_cache was built for a different configuration: "
                 f"{prior} vs {guard}"
             )
-        if engine == "batch":
-            self._bcast_cls: Any = ArrayBroadcast
-            self._reduce_cls: Any = ArrayReduce
-            for r in range(grid.size):
-                self.machine.set_fast_handler(r, self._make_fast_handler(r))
-        else:
-            self._bcast_cls = TreeBroadcast
-            self._reduce_cls = TreeReduce
+        # The compiled (closure-free) protocol only handles the
+        # symbolic, un-instrumented case; numeric or telemetry runs on
+        # the vectorized engine fall back to the batch protocol on the
+        # same machine (identical outcomes, fewer specializations).
+        self._vec = (
+            engine == "vectorized" and not self.numeric and telemetry is None
+        )
+        if engine == "legacy":
+            self._bcast_cls: Any = TreeBroadcast
+            self._reduce_cls: Any = TreeReduce
             for r in range(grid.size):
                 self.machine.set_handler(r, self._make_handler(r))
+        elif self._vec:
+            self._init_vec_protocol()
+        else:
+            self._bcast_cls = ArrayBroadcast
+            self._reduce_cls = ArrayReduce
+            for r in range(grid.size):
+                self.machine.set_fast_handler(r, self._make_fast_handler(r))
 
     # -- setup ------------------------------------------------------------
 
@@ -276,7 +314,7 @@ class SimulatedPSelInv:
         key = spec.key
         tree = self._tree_cache.get(key)
         if tree is None:
-            build = tree_arrays if self.engine == "batch" else build_tree
+            build = build_tree if self.engine == "legacy" else tree_arrays
             tree = build(
                 self.scheme,
                 spec.root,
@@ -458,6 +496,304 @@ class SimulatedPSelInv:
             lowner = (bj.snode % pr) * pc + kc
             norm_blocks.setdefault(lowner, []).append(bj)
 
+    # -- compiled protocol (engine="vectorized", symbolic) -----------------------
+    #
+    # Same dataflow, same timestamps, zero per-event closures: window
+    # entry precomputes every duration/destination/tag in bulk with
+    # numpy, handlers are pre-registered ids dispatching on tuple
+    # arguments, collective traffic rides the machine's point route, and
+    # Ainv readiness keys are flat ints (row * nsup + col).  Every
+    # simulator event maps one-to-one onto a batch-engine event, in the
+    # same sequence order -- that is the whole bit-identity argument.
+
+    def _init_vec_protocol(self) -> None:
+        m = self.machine
+        sim = m.sim
+        cat = m.category_id
+        self._cid_db = cat("diag-bcast")
+        self._cid_cb = cat("col-bcast")
+        self._cid_rr = cat("row-reduce")
+        self._cid_cr = cat("col-reduce")
+        self._cid_cross = cat("cross-send")
+        self._cid_back = cat("cross-back")
+        self._hid_gemm = sim.register_handler(self._gemm_fin_vec)
+        self._hid_norm = sim.register_handler(self._norm_fin_vec)
+        self._hid_diagc = sim.register_handler(self._diag_fin_vec)
+        self._hid_base = sim.register_handler(self._base_fin_vec)
+        self._hid_colred = sim.register_handler(self._colred_fin_vec)
+        self._ready: set[int] = set()
+        self._vwaiters: dict[int, list] = {}
+        # Column broadcasts waiting on their cross-send, keyed
+        # k * nsup + i (popped exactly once when the Lhat panel lands).
+        self._vec_cb: dict[int, Any] = {}
+        self._nsup = self.struct.nsup
+
+    def _ctree(self, spec) -> Any:
+        """The spec's :class:`CompiledTree`, memoized like :meth:`_tree`
+        but under a distinct key prefix -- the same run-level cache may
+        also hold :class:`TreeArrays` (numeric/telemetry fallback) for
+        identical specs, and the two representations must not collide."""
+        key = ("v", spec.key)
+        tree = self._tree_cache.get(key)
+        if tree is None:
+            tree = compiled_tree(
+                self.scheme,
+                spec.root,
+                spec.participants,
+                collective_seed(self.seed, spec.key),
+                hybrid_threshold=self.hybrid_threshold,
+            )
+            self._tree_cache[key] = tree
+        return tree
+
+    def _setup_supernode_vec(self, plan: SupernodePlan) -> None:
+        """Window entry: compile supernode ``plan.k``'s whole protocol.
+
+        Fuses ``_gemm_counts`` + ``_build_collectives`` and additionally
+        precomputes, in bulk numpy expressions, every compute duration
+        the per-message path derives one flop count at a time.  All
+        duration arithmetic reproduces ``Network.compute_time``'s exact
+        float expression (the products are exact integers below 2^53,
+        so factoring them elementwise cannot change a bit).
+        """
+        m = self.machine
+        k = plan.k
+        st = self.states[k]
+        nsup = self._nsup
+        nranks = self.grid.size
+        pr, pc = self.grid.pr, self.grid.pc
+        kc = k % pc
+        kr_pc = (k % pr) * pc
+        cfg = m.network.config
+        task_oh = cfg.task_overhead
+        rate = cfg.flop_rate
+        blocks = plan.blocks
+        nb = len(blocks)
+        snodes = [b.snode for b in blocks]
+        s = plan.width
+        sn = np.array(snodes)
+        nr = np.array([b.nrows for b in blocks])
+        jrows_l = ((sn % pr) * pc).tolist()
+        cols_l = (sn % pc).tolist()
+        # Durations: [i_idx][j_idx] GEMM seconds, per-block normalize
+        # and diag-contribution seconds, and the two scalar diag terms.
+        secs = (
+            task_oh + (np.multiply.outer(2.0 * nr, nr) * s) / rate
+        ).tolist()
+        norm_secs = (task_oh + (s * s * nr) / rate).tolist()
+        dc_secs = (task_oh + (((2.0 * s) * nr) * s) / rate).tolist()
+        st.base_sec = task_oh + (s ** 3) / rate
+        st.finish_sec = task_oh + float(s * s) / rate
+        # Row blocks grouped by grid row (insertion = block order), and
+        # the distinct column positions with their multiplicities.
+        rowgroups: dict[int, list[int]] = {}
+        for idx in range(nb):
+            g = rowgroups.get(jrows_l[idx])
+            if g is None:
+                rowgroups[jrows_l[idx]] = [idx]
+            else:
+                g.append(idx)
+        colcount: dict[int, int] = {}
+        for c in cols_l:
+            colcount[c] = colcount.get(c, 0) + 1
+        ucols = list(colcount)
+        ucnts = list(colcount.values())
+        # Collectives go up in the batch engine's construction order
+        # (diag bcast, col bcasts, row reduces, col reduce): reduce
+        # construction can emit degenerate-relay sends, so this order is
+        # part of the bit-identity contract.
+        spec = plan.diag_bcast
+        diag_bc = VecBroadcast(
+            m, self._ctree(spec), spec.key, spec.nbytes, self._cid_db,
+            self._on_diag_delivery_vec, st,
+        )
+        vcb = self._vec_cb
+        kn = k * nsup
+        # The delivery context of col-bcast i carries its GEMM-duration
+        # row and snode id directly; the per-rank work tables are shared
+        # across every i (a rank's row group does the same j's for each
+        # broadcast it receives -- the legacy tables stored one copy per
+        # (i, rank) pair).
+        idx_of = {sn_: x for x, sn_ in enumerate(snodes)}
+        for spec in plan.col_bcasts:
+            i = spec.key[2]
+            vcb[kn + i] = VecBroadcast(
+                m, self._ctree(spec), spec.key, spec.nbytes, self._cid_cb,
+                self._on_colbcast_delivery_vec, (st, secs[idx_of[i]], i),
+            )
+        gl: dict[int, int] = {}
+        st.gemms_left = gl
+        fin_args: dict[int, tuple] = {}
+        for spec in plan.row_reduces:
+            j = spec.key[2]
+            tree = self._ctree(spec)
+            pos = tree.pos_of()
+            jrow_j = (j % pr) * pc
+            jn = j * nranks
+            red = VecReduce(
+                m, tree, spec.key, spec.nbytes, self._cid_rr,
+                [pos[jrow_j + c] for c in ucols],
+                self._on_rowreduce_complete_vec, (st, j),
+            )
+            for c, cnt in zip(ucols, ucnts):
+                r = jrow_j + c
+                gkey = jn + r
+                gl[gkey] = cnt
+                fin_args[gkey] = (gl, gkey, red, pos[r])
+        dl: dict[int, int] = {}
+        st.diag_left = dl
+        for jrow, g in rowgroups.items():
+            dl[jrow + kc] = len(g)
+        spec = plan.col_reduce
+        tree = self._ctree(spec)
+        pos = tree.pos_of()
+        cr = VecReduce(
+            m, tree, spec.key, spec.nbytes, self._cid_cr,
+            [pos[d] for d in dl],
+            self._on_colreduce_complete_vec, st,
+        )
+        dfin = {d: (dl, d, cr, pos[d]) for d in dl}
+        # Per row block j: everything its row-reduce completion touches.
+        xnb = st.back_nbytes
+        rr_info: dict[int, tuple] = {}
+        st.rr_info = rr_info
+        for idx in range(nb):
+            j = snodes[idx]
+            dest = jrows_l[idx] + kc
+            rr_info[j] = (
+                j * nsup + k,           # readiness key of Ainv(J,K)
+                dest,                   # owner of L(J,K)
+                kr_pc + cols_l[idx],    # owner of U(K,J) (cross-back)
+                ("xb", k, j),
+                xnb[j],
+                kn + j,                 # readiness key of Ainv(K,J)
+                dc_secs[idx],
+                dfin[dest],
+            )
+        # Per L-panel owner: normalize duration + cross-send arguments.
+        cnb = st.cross_nbytes
+        nv: dict[int, list] = {}
+        st.norm_vec = nv
+        for idx in range(nb):
+            i = snodes[idx]
+            lowner = jrows_l[idx] + kc
+            ent = (
+                norm_secs[idx],
+                (lowner, kr_pc + cols_l[idx], ("cs", k, i), cnb[i], kn + i),
+            )
+            g = nv.get(lowner)
+            if g is None:
+                nv[lowner] = [ent]
+            else:
+                g.append(ent)
+        # Per contributing rank: its row group's block indices, the
+        # shared countdown tuples of its (j, rank) pairs, and the j-part
+        # of each readiness key -- one table per rank, reused by every
+        # col-bcast delivery there (block order throughout).
+        bg: dict[int, tuple] = {}
+        st.bcast_gemms = bg
+        for jrow, group in rowgroups.items():
+            jsn = [snodes[x] * nsup for x in group]
+            for c in ucols:
+                rank = jrow + c
+                bg[rank] = (
+                    group,
+                    [fin_args[snodes[x] * nranks + rank] for x in group],
+                    jsn,
+                )
+        self.machine.sim.schedule(0.0, lambda bc=diag_bc: bc.start(None))
+
+    def _mark_ready_vec(self, rkey: int) -> None:
+        self._ready.add(rkey)
+        w = self._vwaiters.pop(rkey, None)
+        if w is not None:
+            post = self.machine.post_named
+            hid = self._hid_gemm
+            for rank, sec, arg in w:
+                post(rank, sec, hid, arg)
+
+    def _on_diag_delivery_vec(self, st, rank: int, payload) -> None:
+        if rank == st.plan.diag_owner:
+            self.machine.post_named(rank, st.base_sec, self._hid_base, st)
+        ents = st.norm_vec.get(rank)
+        if ents is not None:
+            post = self.machine.post_named
+            hid = self._hid_norm
+            for sec, arg in ents:
+                post(rank, sec, hid, arg)
+
+    def _base_fin_vec(self, st) -> None:
+        st.base = None
+
+    def _norm_fin_vec(self, arg) -> None:
+        # (src, u_owner, ("cs", k, i), nbytes, col-bcast key)
+        self.machine.send_pt(
+            arg[0], arg[1], arg[2], arg[3], self._cid_cross,
+            self._on_cross_send_vec, arg[4],
+        )
+
+    def _on_cross_send_vec(self, dst: int, payload, aux: int) -> None:
+        self._vec_cb.pop(aux).start(payload)
+
+    def _on_colbcast_delivery_vec(self, ctx, rank: int, payload) -> None:
+        st, sec_row, i = ctx
+        tab = st.bcast_gemms.get(rank)
+        if tab is None:
+            return
+        group, fins, jsn = tab
+        ready = self._ready
+        waiters = self._vwaiters
+        post = self.machine.post_named
+        hid = self._hid_gemm
+        for x in range(len(group)):
+            rkey = jsn[x] + i
+            if rkey in ready:
+                post(rank, sec_row[group[x]], hid, fins[x])
+            else:
+                ent = (rank, sec_row[group[x]], fins[x])
+                w = waiters.get(rkey)
+                if w is None:
+                    waiters[rkey] = [ent]
+                else:
+                    w.append(ent)
+
+    def _gemm_fin_vec(self, arg) -> None:
+        gl, gkey, red, cpos = arg
+        n = gl[gkey] - 1
+        gl[gkey] = n
+        if n == 0:
+            red.contribute_pos(cpos)
+
+    def _on_rowreduce_complete_vec(self, ctx, value) -> None:
+        st, j = ctx
+        rkey, dest, u_owner, xbtag, nbytes, bkey, dcsec, dfin = st.rr_info[j]
+        self._mark_ready_vec(rkey)
+        self.machine.send_pt(
+            dest, u_owner, xbtag, nbytes, self._cid_back,
+            self._on_cross_back_vec, bkey,
+        )
+        self.machine.post_named(dest, dcsec, self._hid_diagc, dfin)
+
+    def _on_cross_back_vec(self, dst: int, payload, aux: int) -> None:
+        self._mark_ready_vec(aux)
+
+    def _diag_fin_vec(self, arg) -> None:
+        dl, dest, cr, cpos = arg
+        n = dl[dest] - 1
+        dl[dest] = n
+        if n == 0:
+            cr.contribute_pos(cpos)
+
+    def _on_colreduce_complete_vec(self, st, value) -> None:
+        self.machine.post_named(
+            st.plan.diag_owner, st.finish_sec, self._hid_colred, st
+        )
+
+    def _colred_fin_vec(self, st) -> None:
+        k = st.plan.k
+        self._mark_ready_vec(k * self._nsup + k)
+        self._supernode_finished()
+
     # -- phase 0: kickoff ------------------------------------------------------
 
     def _kickoff(self) -> None:
@@ -505,6 +841,9 @@ class SimulatedPSelInv:
                 label="diag-inv",
             )
             return
+        if self._vec:
+            self._setup_supernode_vec(plan)
+            return
         self._gemm_counts(plan)
         self._build_collectives(plan)
         spec = plan.diag_bcast
@@ -524,7 +863,10 @@ class SimulatedPSelInv:
             ident = np.eye(s)
             linv = solve_triangular(payload, ident, lower=True, unit_diagonal=True)
             st.diag_value = solve_triangular(payload, linv, lower=False)
-        self._mark_ainv_ready((k, k), st.diag_value, self.grid.owner(k, k))
+        if self._vec:
+            self._mark_ready_vec(k * self._nsup + k)
+        else:
+            self._mark_ainv_ready((k, k), st.diag_value, self.grid.owner(k, k))
         self._supernode_finished()
 
     # -- phase 1: diagonal broadcast and panel normalization ---------------------

@@ -23,6 +23,7 @@ from . import cache, store
 from .pool import (
     ExperimentError,
     ParallelRunner,
+    available_cpus,
     default_jobs,
     run_experiment,
     run_experiments,
@@ -38,6 +39,7 @@ __all__ = [
     "VolumeSpec",
     "cache",
     "store",
+    "available_cpus",
     "default_jobs",
     "run_experiment",
     "run_experiments",

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -43,6 +44,7 @@ from .spec import ExperimentSpec, RunRecord, VolumeSpec
 __all__ = [
     "ExperimentError",
     "ParallelRunner",
+    "available_cpus",
     "default_jobs",
     "run_experiment",
     "run_experiments",
@@ -72,6 +74,14 @@ class _Failure:
         )
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
 def default_jobs() -> int:
     """Worker count from ``REPRO_JOBS`` (unset/``auto``/``0`` = all cores)."""
     raw = os.environ.get("REPRO_JOBS", "").strip().lower()
@@ -80,10 +90,7 @@ def default_jobs() -> int:
             return max(1, int(raw))
         except ValueError:
             pass  # unparseable -> fall through to the core count
-    try:
-        return max(1, len(os.sched_getaffinity(0)))
-    except (AttributeError, OSError):  # pragma: no cover - non-Linux
-        return max(1, os.cpu_count() or 1)
+    return available_cpus()
 
 
 def _describe(item: Any) -> str:
@@ -270,6 +277,11 @@ class ParallelRunner:
 
     ``jobs=None`` resolves through :func:`default_jobs` (the
     ``REPRO_JOBS`` knob); ``jobs=1`` runs everything in-process.
+    Requests above :func:`available_cpus` are clamped (with a one-line
+    warning on stderr) -- oversubscribed pools only add scheduler churn
+    to CPU-bound simulation workers.  Pass ``force_jobs=True`` to keep
+    an oversubscribed count anyway (the jobs-sweep benchmark does, since
+    measuring oversubscription is its point).
     ``progress`` is invoked after each completed item, in submission
     order, as ``progress(done, total, item, result, elapsed)``.
 
@@ -285,8 +297,18 @@ class ParallelRunner:
         *,
         chunksize: int | None = None,
         progress: ProgressFn | None = None,
+        force_jobs: bool = False,
     ) -> None:
-        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        cpus = available_cpus()
+        if jobs > cpus and not force_jobs:
+            print(
+                f"repro.runner: clamping jobs={jobs} to {cpus} available "
+                "CPUs (pass force_jobs=True / --force-jobs to override)",
+                file=sys.stderr,
+            )
+            jobs = cpus
+        self.jobs = jobs
         self.chunksize = chunksize
         self.progress = progress
         self.stats: dict[str, int] = {}
@@ -431,6 +453,8 @@ def run_experiments(
     *,
     progress: ProgressFn | None = None,
     prewarm: bool = True,
+    force_jobs: bool = False,
 ) -> list:
     """Convenience wrapper: one sweep through a :class:`ParallelRunner`."""
-    return ParallelRunner(jobs, progress=progress).run(specs, prewarm=prewarm)
+    runner = ParallelRunner(jobs, progress=progress, force_jobs=force_jobs)
+    return runner.run(specs, prewarm=prewarm)

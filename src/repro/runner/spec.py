@@ -63,9 +63,11 @@ class ExperimentSpec:
     # simulated outcome is bit-identical either way.
     telemetry: bool = False
     # DES engine: "batch" (calendar-queue scheduler, SoA message
-    # records) or "legacy" (binary-heap reference).  The simulated
-    # outcome is bit-identical across engines; this knob exists for
-    # head-to-head benchmarking and as an escape hatch.
+    # records), "vectorized" (batch plus compiled collective state
+    # machines and batched delivery), or "legacy" (binary-heap
+    # reference).  The simulated outcome is bit-identical across
+    # engines; this knob exists for head-to-head benchmarking and as an
+    # escape hatch / oracle.
     engine: str = "batch"
 
     def describe(self) -> str:

@@ -9,6 +9,7 @@ per-rank communication-volume accounting.
 from .engine import BatchSimulator, Simulator
 from .machine import BatchMachine, CommStats, Machine, Message, TraceEvent
 from .network import Network, NetworkConfig
+from .vec import VecCommStats, VecMachine, VecSimulator
 
 __all__ = [
     "BatchMachine",
@@ -20,4 +21,7 @@ __all__ = [
     "NetworkConfig",
     "Simulator",
     "TraceEvent",
+    "VecCommStats",
+    "VecMachine",
+    "VecSimulator",
 ]

@@ -175,6 +175,10 @@ class Machine:
     # it the dense table would waste memory and a dict takes over.
     _FLAT_CHANNEL_MAX_RANKS = 1024
 
+    # Stats container, overridable per machine flavor (the vectorized
+    # machine swaps in numpy-column accumulators).
+    _stats_cls = CommStats
+
     def __init__(
         self,
         nranks: int,
@@ -190,7 +194,7 @@ class Machine:
         self.nranks = nranks
         self.network = network
         self.sim = sim or Simulator()
-        self.stats = CommStats(nranks)
+        self.stats = self._stats_cls(nranks)
         # Optional structured trace: when a list is supplied, every send
         # and delivery appends a TraceEvent.  Off (None) on the hot path.
         self._event_log = event_log
@@ -479,14 +483,17 @@ class BatchMachine(Machine):
         # Contention-free configuration (no telemetry, no trace log, no
         # per-delivery CPU tax, un-instrumented network, dense channel
         # tables): swap the per-message stages for closure-specialized
-        # versions with every hook test resolved away.
-        if (
+        # versions with every hook test resolved away.  The flag is kept
+        # so subclasses that register extra handlers first can re-check
+        # eligibility after their own construction.
+        self._fast_eligible = (
             self._rec is None
             and self._event_log is None
             and self._inline_net
             and self._deliver_oh == 0.0
             and self._flat_channels
-        ):
+        )
+        if self._fast_eligible:
             self._install_fast_path()
 
     # -- wiring --------------------------------------------------------------
